@@ -1,0 +1,117 @@
+//! Criterion micro-benches for the numerical kernels — the measured
+//! counterparts of the per-phase numbers in Figure 1 and Table III.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmsb::core::kernels::phi::{update_phi_row, PhiParams};
+use mmsb::core::kernels::theta::{theta_gradient_pair, update_theta};
+use mmsb::core::kernels::RowView;
+use mmsb::prelude::*;
+use std::hint::black_box;
+
+fn simplex_row(rng: &mut Xoshiro256PlusPlus, k: usize) -> Vec<f32> {
+    let raw: Vec<f64> = (0..k).map(|_| 0.05 + rng.next_f64()).collect();
+    let s: f64 = raw.iter().sum();
+    raw.iter().map(|&x| (x / s) as f32).collect()
+}
+
+fn bench_update_phi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_phi_row");
+    for k in [16usize, 64, 256] {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let n_neighbors = 32;
+        let phi_a: Vec<f64> = (0..k).map(|_| 0.1 + rng.next_f64()).collect();
+        let beta: Vec<f64> = (0..k).map(|_| 0.05 + 0.9 * rng.next_f64()).collect();
+        let rows: Vec<f32> = (0..n_neighbors)
+            .flat_map(|_| simplex_row(&mut rng, k))
+            .collect();
+        let linked: Vec<bool> = (0..n_neighbors).map(|_| rng.coin()).collect();
+        let params = PhiParams {
+            alpha: 1.0 / k as f64,
+            delta: 1e-5,
+            eps: 0.01,
+            grad_scale: 100.0,
+        };
+        let mut out = vec![0.0f64; k];
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                update_phi_row(
+                    black_box(&phi_a),
+                    black_box(&beta),
+                    &RowView::new(&rows, k),
+                    &linked,
+                    &params,
+                    &mut rng,
+                    &mut out,
+                );
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_theta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theta");
+    for k in [16usize, 64, 256] {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let pi_a = simplex_row(&mut rng, k);
+        let pi_b = simplex_row(&mut rng, k);
+        let theta: Vec<f64> = (0..2 * k).map(|_| 0.5 + rng.next_f64()).collect();
+        let beta: Vec<f64> = (0..k)
+            .map(|c| theta[2 * c + 1] / (theta[2 * c] + theta[2 * c + 1]))
+            .collect();
+        let mut grad = vec![0.0f64; 2 * k];
+        group.bench_with_input(BenchmarkId::new("gradient_pair", k), &k, |b, _| {
+            b.iter(|| {
+                theta_gradient_pair(
+                    black_box(&pi_a),
+                    black_box(&pi_b),
+                    true,
+                    100.0,
+                    &beta,
+                    &theta,
+                    1e-5,
+                    &mut grad,
+                );
+                black_box(&grad);
+            })
+        });
+        let mut theta_mut = theta.clone();
+        group.bench_with_input(BenchmarkId::new("update", k), &k, |b, _| {
+            b.iter(|| {
+                update_theta(&mut theta_mut, &grad, 1.0, (1.0, 1.0), 0.001, &mut rng);
+                black_box(&theta_mut);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_perplexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_probability");
+    for k in [16usize, 64, 256] {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let pi_a = simplex_row(&mut rng, k);
+        let pi_b = simplex_row(&mut rng, k);
+        let beta: Vec<f64> = (0..k).map(|_| rng.next_f64()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                black_box(link_probability(
+                    black_box(&pi_a),
+                    black_box(&pi_b),
+                    &beta,
+                    1e-5,
+                    true,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_update_phi, bench_theta, bench_perplexity
+}
+criterion_main!(benches);

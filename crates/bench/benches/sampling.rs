@@ -1,0 +1,98 @@
+//! Criterion benches for mini-batch machinery and whole sampler steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmsb::graph::minibatch::MinibatchSampler;
+use mmsb::graph::neighbor::NeighborSampler;
+use mmsb::prelude::*;
+use std::hint::black_box;
+
+fn training_graph() -> (Graph, HeldOut) {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+    let generated = generate_planted(
+        &PlantedConfig {
+            num_vertices: 2000,
+            num_communities: 32,
+            mean_community_size: 70.0,
+            memberships_per_vertex: 1.1,
+            internal_degree: 12.0,
+            background_degree: 0.5,
+        },
+        &mut rng,
+    );
+    HeldOut::split(&generated.graph, 400, &mut rng)
+}
+
+fn bench_minibatch(c: &mut Criterion) {
+    let (graph, heldout) = training_graph();
+    let mut group = c.benchmark_group("minibatch");
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+    for (name, strategy) in [
+        (
+            "stratified_32anchors",
+            Strategy::StratifiedNode {
+                partitions: 32,
+                anchors: 32,
+            },
+        ),
+        ("random_pairs_1024", Strategy::RandomPair { size: 1024 }),
+    ] {
+        let sampler = MinibatchSampler::new(strategy);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(sampler.sample(&graph, Some(&heldout), &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_neighbor_sampling(c: &mut Criterion) {
+    let (graph, heldout) = training_graph();
+    let mut group = c.benchmark_group("neighbor_sample");
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+    for n in [32usize, 128] {
+        let sampler = NeighborSampler::new(graph.num_vertices(), n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(sampler.sample(VertexId(7), Some(&heldout), &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampler_step(c: &mut Criterion) {
+    let (graph, heldout) = training_graph();
+    let mut group = c.benchmark_group("sampler_step");
+    group.sample_size(10);
+    for k in [16usize, 64] {
+        let config = SamplerConfig::new(k)
+            .with_seed(5)
+            .with_minibatch(Strategy::StratifiedNode {
+                partitions: 32,
+                anchors: 16,
+            });
+        let mut sampler =
+            SequentialSampler::new(graph.clone(), heldout.clone(), config).unwrap();
+        group.bench_with_input(BenchmarkId::new("sequential", k), &k, |b, _| {
+            b.iter(|| sampler.step())
+        });
+    }
+    group.finish();
+}
+
+fn bench_perplexity_eval(c: &mut Criterion) {
+    let (graph, heldout) = training_graph();
+    let config = SamplerConfig::new(64).with_seed(6);
+    let mut sampler = SequentialSampler::new(graph, heldout, config).unwrap();
+    sampler.run(5);
+    let mut group = c.benchmark_group("perplexity_eval");
+    group.sample_size(20);
+    group.bench_function("heldout_800_pairs_k64", |b| {
+        b.iter(|| black_box(sampler.evaluate_perplexity()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_minibatch, bench_neighbor_sampling, bench_sampler_step, bench_perplexity_eval
+}
+criterion_main!(benches);

@@ -1,0 +1,189 @@
+//! Shared plumbing for the per-figure benchmark binaries.
+//!
+//! Every binary accepts `--quick` (shrink the workload ~10x for smoke
+//! runs) and `--csv <path>` (also write machine-readable series). The
+//! default parameters are the scaled-down equivalents of the paper's
+//! configurations documented in DESIGN.md §4; `EXPERIMENTS.md` records
+//! paper-vs-measured for each.
+
+use mmsb::prelude::*;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Parsed command-line options shared by all harness binaries.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessArgs {
+    /// Shrink workloads ~10x (CI / smoke runs).
+    pub quick: bool,
+    /// Optional CSV output path.
+    pub csv: Option<PathBuf>,
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args`.
+    ///
+    /// # Panics
+    /// Panics on unknown flags (harness binaries have no other inputs).
+    pub fn parse() -> Self {
+        let mut out = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--csv" => {
+                    let path = args.next().expect("--csv needs a path");
+                    out.csv = Some(PathBuf::from(path));
+                }
+                other => panic!("unknown argument {other:?} (expected --quick / --csv <path>)"),
+            }
+        }
+        out
+    }
+
+    /// `full` normally, `quick` under `--quick`.
+    pub fn pick(&self, full: u64, quick: u64) -> u64 {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+
+    /// Same for usize.
+    pub fn pick_usize(&self, full: usize, quick: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// A simple column-aligned table writer that can mirror rows to CSV.
+pub struct TableWriter {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    csv: Option<PathBuf>,
+}
+
+impl TableWriter {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str], csv: Option<PathBuf>) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            csv,
+        }
+    }
+
+    /// Append one row (stringified by the caller).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Print the aligned table to stdout and write the CSV if requested.
+    pub fn finish(self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("{}", line.join("  "));
+        };
+        print_row(&self.headers);
+        for row in &self.rows {
+            print_row(row);
+        }
+        if let Some(path) = &self.csv {
+            let mut f = std::fs::File::create(path).expect("create csv");
+            writeln!(f, "{}", self.headers.join(",")).unwrap();
+            for row in &self.rows {
+                writeln!(f, "{}", row.join(",")).unwrap();
+            }
+            eprintln!("csv written to {}", path.display());
+        }
+    }
+}
+
+/// Format seconds with adaptive precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.1}")
+    } else if s >= 1.0 {
+        format!("{s:.3}")
+    } else {
+        format!("{:.3}ms", s * 1e3)
+    }
+}
+
+/// Standard training graph + held-out split for the scaling figures: the
+/// syn-friendster stand-in (the paper uses com-Friendster), shrunk further
+/// under `--quick`.
+pub fn friendster_standin(quick: bool) -> (Graph, HeldOut, u32) {
+    let spec = by_name("syn-friendster").expect("stand-in exists");
+    let mut config = spec.config.clone();
+    if quick {
+        config.num_vertices /= 8;
+        config.num_communities /= 4;
+    }
+    let generated = {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(spec.seed);
+        generate_planted(&config, &mut rng)
+    };
+    let n = generated.graph.num_vertices();
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xBEEF);
+    let heldout_links = (generated.graph.num_edges() / 200).max(64) as usize;
+    let (train, heldout) = HeldOut::split(&generated.graph, heldout_links, &mut rng);
+    (train, heldout, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_respects_quick() {
+        let full = HarnessArgs::default();
+        assert_eq!(full.pick(100, 10), 100);
+        let quick = HarnessArgs {
+            quick: true,
+            csv: None,
+        };
+        assert_eq!(quick.pick(100, 10), 10);
+        assert_eq!(quick.pick_usize(100, 10), 10);
+    }
+
+    #[test]
+    fn table_writer_roundtrip() {
+        let dir = std::env::temp_dir().join("mmsb_bench_table_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("t.csv");
+        let mut t = TableWriter::new(&["a", "b"], Some(csv.clone()));
+        t.row(&["1".into(), "2".into()]);
+        t.finish();
+        let content = std::fs::read_to_string(&csv).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_writer_rejects_ragged_rows() {
+        let mut t = TableWriter::new(&["a", "b"], None);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert!(fmt_secs(0.001).ends_with("ms"));
+        assert_eq!(fmt_secs(2.5), "2.500");
+        assert_eq!(fmt_secs(120.0), "120.0");
+    }
+}

@@ -1,0 +1,250 @@
+//! Collective operations layered over point-to-point messages.
+//!
+//! Every collective here is *root-centric* (the root exchanges with each
+//! peer directly). That is the simplest correct dataflow; the latency an
+//! MPI library's tree algorithms would achieve is what `mmsb-netsim`
+//! models for the simulated cluster, so there is no reason to complicate
+//! the functional layer. All collectives must be called by **every** rank
+//! of the cluster with consistent arguments, like their MPI counterparts.
+
+use crate::message::{MessageReader, MessageWriter};
+use crate::{CommError, Endpoint};
+
+/// Broadcast `data` from `root` to all ranks; every rank returns the
+/// root's payload.
+pub fn broadcast_bytes(
+    ep: &Endpoint,
+    root: usize,
+    data: Vec<u8>,
+) -> Result<Vec<u8>, CommError> {
+    if ep.rank() == root {
+        for r in 0..ep.size() {
+            if r != root {
+                ep.send(r, data.clone())?;
+            }
+        }
+        Ok(data)
+    } else {
+        ep.recv(root)
+    }
+}
+
+/// Reduce element-wise sums of `f64` vectors to `root`. Non-root ranks
+/// return `None`.
+pub fn reduce_sum_f64(
+    ep: &Endpoint,
+    root: usize,
+    data: &[f64],
+) -> Result<Option<Vec<f64>>, CommError> {
+    if ep.rank() == root {
+        let mut acc = data.to_vec();
+        for r in 0..ep.size() {
+            if r == root {
+                continue;
+            }
+            let bytes = ep.recv(r)?;
+            let mut reader = MessageReader::new(&bytes);
+            let contrib = reader.get_f64_slice()?;
+            reader.finish()?;
+            if contrib.len() != acc.len() {
+                return Err(CommError::Malformed {
+                    reason: format!(
+                        "reduce length mismatch: root has {}, rank {r} sent {}",
+                        acc.len(),
+                        contrib.len()
+                    ),
+                });
+            }
+            for (a, c) in acc.iter_mut().zip(&contrib) {
+                *a += c;
+            }
+        }
+        Ok(Some(acc))
+    } else {
+        let mut w = MessageWriter::with_capacity(8 + data.len() * 8);
+        w.put_f64_slice(data);
+        ep.send(root, w.finish())?;
+        Ok(None)
+    }
+}
+
+/// All-reduce: every rank returns the element-wise sum.
+pub fn allreduce_sum_f64(ep: &Endpoint, data: &[f64]) -> Result<Vec<f64>, CommError> {
+    let root = 0;
+    let reduced = reduce_sum_f64(ep, root, data)?;
+    let bytes = if ep.rank() == root {
+        let mut w = MessageWriter::new();
+        w.put_f64_slice(&reduced.expect("root has the reduction"));
+        broadcast_bytes(ep, root, w.finish())?
+    } else {
+        broadcast_bytes(ep, root, Vec::new())?
+    };
+    let mut reader = MessageReader::new(&bytes);
+    let out = reader.get_f64_slice()?;
+    reader.finish()?;
+    Ok(out)
+}
+
+/// Scatter per-rank byte payloads from `root`; every rank (including the
+/// root) returns its own slice. `parts` is only inspected at the root and
+/// must contain exactly `size` entries there.
+pub fn scatter_bytes(
+    ep: &Endpoint,
+    root: usize,
+    parts: Option<Vec<Vec<u8>>>,
+) -> Result<Vec<u8>, CommError> {
+    if ep.rank() == root {
+        let parts = parts.ok_or_else(|| CommError::Malformed {
+            reason: "scatter root called without parts".into(),
+        })?;
+        if parts.len() != ep.size() {
+            return Err(CommError::Malformed {
+                reason: format!("scatter needs {} parts, got {}", ep.size(), parts.len()),
+            });
+        }
+        let mut mine = Vec::new();
+        for (r, part) in parts.into_iter().enumerate() {
+            if r == root {
+                mine = part;
+            } else {
+                ep.send(r, part)?;
+            }
+        }
+        Ok(mine)
+    } else {
+        ep.recv(root)
+    }
+}
+
+/// Gather per-rank byte payloads at `root`; the root returns all payloads
+/// indexed by rank, others return `None`.
+pub fn gather_bytes(
+    ep: &Endpoint,
+    root: usize,
+    data: Vec<u8>,
+) -> Result<Option<Vec<Vec<u8>>>, CommError> {
+    if ep.rank() == root {
+        let mut all: Vec<Vec<u8>> = vec![Vec::new(); ep.size()];
+        all[root] = data;
+        for (r, slot) in all.iter_mut().enumerate() {
+            if r != root {
+                *slot = ep.recv(r)?;
+            }
+        }
+        Ok(Some(all))
+    } else {
+        ep.send(root, data)?;
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocalCluster;
+    use std::thread;
+
+    /// Run `f` on every rank of a fresh cluster and collect results by rank.
+    fn run_spmd<T: Send + 'static>(
+        ranks: usize,
+        f: impl Fn(&Endpoint) -> T + Send + Sync + 'static,
+    ) -> Vec<T> {
+        let f = std::sync::Arc::new(f);
+        let handles: Vec<_> = LocalCluster::spawn(ranks)
+            .into_iter()
+            .map(|ep| {
+                let f = std::sync::Arc::clone(&f);
+                thread::spawn(move || f(&ep))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn broadcast_delivers_to_all() {
+        let results = run_spmd(4, |ep| {
+            let data = if ep.rank() == 1 { vec![9, 9, 9] } else { vec![] };
+            broadcast_bytes(ep, 1, data).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, vec![9, 9, 9]);
+        }
+    }
+
+    #[test]
+    fn reduce_sums_elementwise() {
+        let results = run_spmd(5, |ep| {
+            let mine = vec![ep.rank() as f64, 1.0];
+            reduce_sum_f64(ep, 0, &mine).unwrap()
+        });
+        assert_eq!(results[0], Some(vec![0.0 + 1.0 + 2.0 + 3.0 + 4.0, 5.0]));
+        for r in &results[1..] {
+            assert!(r.is_none());
+        }
+    }
+
+    #[test]
+    fn allreduce_gives_everyone_the_sum() {
+        let results = run_spmd(3, |ep| {
+            allreduce_sum_f64(ep, &[(ep.rank() + 1) as f64]).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, vec![6.0]);
+        }
+    }
+
+    #[test]
+    fn scatter_routes_parts() {
+        let results = run_spmd(3, |ep| {
+            let parts = if ep.rank() == 0 {
+                Some(vec![vec![0], vec![1], vec![2]])
+            } else {
+                None
+            };
+            scatter_bytes(ep, 0, parts).unwrap()
+        });
+        for (rank, part) in results.into_iter().enumerate() {
+            assert_eq!(part, vec![rank as u8]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_by_rank() {
+        let results = run_spmd(4, |ep| {
+            gather_bytes(ep, 2, vec![ep.rank() as u8; 2]).unwrap()
+        });
+        let at_root = results[2].as_ref().unwrap();
+        for (rank, payload) in at_root.iter().enumerate() {
+            assert_eq!(payload, &vec![rank as u8; 2]);
+        }
+        assert!(results[0].is_none());
+    }
+
+    #[test]
+    fn reduce_length_mismatch_is_detected() {
+        let results = run_spmd(2, |ep| {
+            let mine = vec![0.0; 2 + ep.rank()]; // rank 1 sends longer vector
+            reduce_sum_f64(ep, 0, &mine)
+        });
+        assert!(matches!(
+            &results[0],
+            Err(CommError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn single_rank_collectives_degenerate() {
+        let results = run_spmd(1, |ep| {
+            let b = broadcast_bytes(ep, 0, vec![1]).unwrap();
+            let r = reduce_sum_f64(ep, 0, &[2.0]).unwrap().unwrap();
+            let a = allreduce_sum_f64(ep, &[3.0]).unwrap();
+            let s = scatter_bytes(ep, 0, Some(vec![vec![4]])).unwrap();
+            (b, r, a, s)
+        });
+        let (b, r, a, s) = &results[0];
+        assert_eq!(b, &vec![1]);
+        assert_eq!(r, &vec![2.0]);
+        assert_eq!(a, &vec![3.0]);
+        assert_eq!(s, &vec![4]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Wire encoding for sampler payloads.
+//!
+//! Messages are flat byte vectors with little-endian scalar encoding — the
+//! same layout an RDMA NIC would DMA. A [`MessageWriter`] appends typed
+//! sections; a [`MessageReader`] consumes them in order, validating
+//! lengths so a malformed (truncated, reordered) message surfaces as a
+//! [`CommError::Malformed`] instead of garbage floats.
+
+use crate::CommError;
+
+/// Append-only message encoder.
+#[derive(Debug, Default, Clone)]
+pub struct MessageWriter {
+    buf: Vec<u8>,
+}
+
+impl MessageWriter {
+    /// Start an empty message.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start with a capacity hint (bytes).
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(bytes),
+        }
+    }
+
+    /// Append one `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append one `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append one `f64`.
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, vs: &[u32]) -> &mut Self {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// Append a length-prefixed `f32` slice.
+    pub fn put_f32_slice(&mut self, vs: &[f32]) -> &mut Self {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// Append a length-prefixed `f64` slice.
+    pub fn put_f64_slice(&mut self, vs: &[f64]) -> &mut Self {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// Finish, yielding the wire bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded size in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Sequential message decoder.
+#[derive(Debug)]
+pub struct MessageReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> MessageReader<'a> {
+    /// Wrap received bytes.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CommError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CommError::Malformed {
+                reason: format!(
+                    "need {n} bytes at offset {}, message is {} bytes",
+                    self.pos,
+                    self.buf.len()
+                ),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CommError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read one `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CommError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read one `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, CommError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn get_len(&mut self) -> Result<usize, CommError> {
+        let len = self.get_u64()?;
+        usize::try_from(len).map_err(|_| CommError::Malformed {
+            reason: format!("slice length {len} exceeds usize"),
+        })
+    }
+
+    /// Read a length-prefixed `u32` slice.
+    pub fn get_u32_slice(&mut self) -> Result<Vec<u32>, CommError> {
+        let len = self.get_len()?;
+        let bytes = self.take(len * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Read a length-prefixed `f32` slice.
+    pub fn get_f32_slice(&mut self) -> Result<Vec<f32>, CommError> {
+        let len = self.get_len()?;
+        let bytes = self.take(len * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Read a length-prefixed `f64` slice.
+    pub fn get_f64_slice(&mut self) -> Result<Vec<f64>, CommError> {
+        let len = self.get_len()?;
+        let bytes = self.take(len * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Assert the whole message was consumed.
+    pub fn finish(self) -> Result<(), CommError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CommError::Malformed {
+                reason: format!("{} trailing bytes", self.buf.len() - self.pos),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = MessageWriter::new();
+        w.put_u32(7)
+            .put_u64(1 << 40)
+            .put_f64(std::f64::consts::PI)
+            .put_u32_slice(&[1, 2, 3])
+            .put_f32_slice(&[0.5, -0.25])
+            .put_f64_slice(&[1e300]);
+        let bytes = w.finish();
+
+        let mut r = MessageReader::new(&bytes);
+        assert_eq!(r.get_u32().unwrap(), 7);
+        assert_eq!(r.get_u64().unwrap(), 1 << 40);
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert_eq!(r.get_u32_slice().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_f32_slice().unwrap(), vec![0.5, -0.25]);
+        assert_eq!(r.get_f64_slice().unwrap(), vec![1e300]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn empty_slices_roundtrip() {
+        let mut w = MessageWriter::new();
+        w.put_f32_slice(&[]);
+        let bytes = w.finish();
+        let mut r = MessageReader::new(&bytes);
+        assert!(r.get_f32_slice().unwrap().is_empty());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_message_errors() {
+        let mut w = MessageWriter::new();
+        w.put_f64_slice(&[1.0, 2.0]);
+        let mut bytes = w.finish();
+        bytes.truncate(bytes.len() - 3);
+        let mut r = MessageReader::new(&bytes);
+        assert!(matches!(
+            r.get_f64_slice(),
+            Err(CommError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = MessageWriter::new();
+        w.put_u32(1).put_u32(2);
+        let bytes = w.finish();
+        let mut r = MessageReader::new(&bytes);
+        r.get_u32().unwrap();
+        assert!(matches!(r.finish(), Err(CommError::Malformed { .. })));
+    }
+
+    #[test]
+    fn reading_past_end_errors() {
+        let mut r = MessageReader::new(&[1, 2]);
+        assert!(r.get_u32().is_err());
+    }
+
+    #[test]
+    fn capacity_and_len() {
+        let mut w = MessageWriter::with_capacity(64);
+        assert!(w.is_empty());
+        w.put_u32(5);
+        assert_eq!(w.len(), 4);
+    }
+}

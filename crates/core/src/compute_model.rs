@@ -1,0 +1,134 @@
+//! Node-level parallel-speedup model.
+//!
+//! The simulation host executes each rank's compute single-threaded (so
+//! measurements are contention-free); the 16-core OpenMP parallelism each
+//! DAS5 node applies on top — and the 40-core HPC Cloud machine of
+//! Figure 4 — is modeled with Amdahl's law plus a per-core efficiency
+//! factor, calibrated to typical memory-bound scaling of the `update_phi`
+//! kernel. See DESIGN.md §3.
+
+/// Amdahl-style speedup model for one node's thread-level parallelism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeComputeModel {
+    /// Number of cores (threads) the node uses.
+    pub cores: usize,
+    /// Fraction of per-iteration node work that does not parallelize
+    /// (mini-batch unpacking, loop setup, reductions).
+    pub serial_fraction: f64,
+    /// Multiplicative per-core efficiency on the parallel part, capturing
+    /// memory-bandwidth saturation (1.0 = perfect scaling).
+    pub parallel_efficiency: f64,
+}
+
+impl NodeComputeModel {
+    /// A single-threaded node (no model adjustment).
+    pub fn serial() -> Self {
+        Self {
+            cores: 1,
+            serial_fraction: 0.0,
+            parallel_efficiency: 1.0,
+        }
+    }
+
+    /// A DAS5-like node: 16 cores, a small serial fraction and the
+    /// sub-linear scaling typical of a memory-bound stochastic-gradient
+    /// kernel.
+    pub fn das5_node() -> Self {
+        Self {
+            cores: 16,
+            serial_fraction: 0.03,
+            parallel_efficiency: 0.85,
+        }
+    }
+
+    /// The 40-core, 1 TB HPC Cloud machine of Figure 4.
+    pub fn hpc_cloud_40() -> Self {
+        Self {
+            cores: 40,
+            serial_fraction: 0.03,
+            parallel_efficiency: 0.85,
+        }
+    }
+
+    /// A copy of this model with a different core count.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        assert!(cores >= 1, "a node needs at least one core");
+        self.cores = cores;
+        self
+    }
+
+    /// Effective speedup over single-threaded execution:
+    /// `1 / (s + (1 - s) / (cores * eff))` where the effective parallel
+    /// width is `cores * parallel_efficiency`.
+    pub fn speedup(&self) -> f64 {
+        assert!(self.cores >= 1, "a node needs at least one core");
+        assert!(
+            (0.0..=1.0).contains(&self.serial_fraction),
+            "serial fraction must be in [0, 1]"
+        );
+        assert!(
+            self.parallel_efficiency > 0.0 && self.parallel_efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
+        if self.cores == 1 {
+            return 1.0;
+        }
+        let width = self.cores as f64 * self.parallel_efficiency;
+        1.0 / (self.serial_fraction + (1.0 - self.serial_fraction) / width)
+    }
+
+    /// Scale a measured single-threaded time to this node's modeled
+    /// multi-threaded time.
+    #[inline]
+    pub fn scale(&self, serial_seconds: f64) -> f64 {
+        serial_seconds / self.speedup()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_model_is_identity() {
+        let m = NodeComputeModel::serial();
+        assert_eq!(m.speedup(), 1.0);
+        assert_eq!(m.scale(2.5), 2.5);
+    }
+
+    #[test]
+    fn speedup_increases_with_cores_sublinearly() {
+        let m16 = NodeComputeModel::das5_node();
+        let m40 = NodeComputeModel::hpc_cloud_40();
+        let s16 = m16.speedup();
+        let s40 = m40.speedup();
+        assert!(s16 > 6.0 && s16 < 16.0, "s16 = {s16}");
+        assert!(s40 > s16, "40 cores should beat 16");
+        assert!(s40 < 40.0, "speedup must be sublinear");
+    }
+
+    #[test]
+    fn amdahl_limit_respected() {
+        // With 10% serial work, speedup can never exceed 10x.
+        let m = NodeComputeModel {
+            cores: 10_000,
+            serial_fraction: 0.1,
+            parallel_efficiency: 1.0,
+        };
+        assert!(m.speedup() < 10.0);
+        assert!(m.speedup() > 9.0);
+    }
+
+    #[test]
+    fn scale_divides_by_speedup() {
+        let m = NodeComputeModel::das5_node();
+        let t = m.scale(1.0);
+        assert!((t - 1.0 / m.speedup()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        NodeComputeModel::serial().with_cores(0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Convergence (plateau) detection on the perplexity trace.
+//!
+//! Figure 6 runs each dataset "until the algorithm reached a stable
+//! state". This module makes that operational: a window-based detector
+//! that declares convergence when the relative improvement of the smoothed
+//! perplexity over the last window falls below a tolerance.
+
+/// Rolling plateau detector over a perplexity (or any loss) trace.
+#[derive(Debug, Clone)]
+pub struct PlateauDetector {
+    window: usize,
+    rel_tolerance: f64,
+    history: Vec<f64>,
+}
+
+impl PlateauDetector {
+    /// Create a detector: convergence is declared when the mean of the
+    /// most recent `window` observations improves on the mean of the
+    /// previous `window` by less than `rel_tolerance` (relative).
+    ///
+    /// # Panics
+    /// Panics if `window == 0` or the tolerance is not positive.
+    pub fn new(window: usize, rel_tolerance: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(
+            rel_tolerance > 0.0 && rel_tolerance.is_finite(),
+            "tolerance must be positive"
+        );
+        Self {
+            window,
+            rel_tolerance,
+            history: Vec::new(),
+        }
+    }
+
+    /// Record one observation; returns `true` once the trace has plateaued.
+    pub fn record(&mut self, value: f64) -> bool {
+        assert!(value.is_finite(), "non-finite observation {value}");
+        self.history.push(value);
+        self.converged()
+    }
+
+    /// Whether the currently recorded trace has plateaued.
+    pub fn converged(&self) -> bool {
+        let w = self.window;
+        if self.history.len() < 2 * w {
+            return false;
+        }
+        let n = self.history.len();
+        let recent: f64 = self.history[n - w..].iter().sum::<f64>() / w as f64;
+        let previous: f64 = self.history[n - 2 * w..n - w].iter().sum::<f64>() / w as f64;
+        // Improvement means the metric went *down* (perplexity). A rising
+        // trace also counts as plateaued (no further progress).
+        let improvement = (previous - recent) / previous.abs().max(f64::MIN_POSITIVE);
+        improvement < self.rel_tolerance
+    }
+
+    /// Observations recorded so far.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// The recorded trace.
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_two_windows_of_data() {
+        let mut d = PlateauDetector::new(3, 0.01);
+        for _ in 0..5 {
+            assert!(!d.record(10.0));
+        }
+        // Sixth observation completes 2 windows of identical values.
+        assert!(d.record(10.0));
+    }
+
+    #[test]
+    fn steep_descent_is_not_converged() {
+        let mut d = PlateauDetector::new(3, 0.01);
+        let mut converged = false;
+        for i in 0..10 {
+            converged = d.record(100.0 / (i + 1) as f64);
+        }
+        assert!(!converged, "still halving every window");
+    }
+
+    #[test]
+    fn plateau_after_descent_is_detected() {
+        let mut d = PlateauDetector::new(3, 0.01);
+        for i in 0..6 {
+            d.record(100.0 - 10.0 * i as f64);
+        }
+        assert!(!d.converged());
+        let mut fired = false;
+        for _ in 0..6 {
+            fired = d.record(40.0);
+            if fired {
+                break;
+            }
+        }
+        assert!(fired, "flat tail should converge");
+    }
+
+    #[test]
+    fn rising_trace_counts_as_plateaued() {
+        let mut d = PlateauDetector::new(2, 0.01);
+        let mut fired = false;
+        for i in 0..8 {
+            fired = d.record(10.0 + i as f64);
+            if fired {
+                break;
+            }
+        }
+        assert!(fired);
+    }
+
+    #[test]
+    fn history_is_preserved() {
+        let mut d = PlateauDetector::new(2, 0.1);
+        d.record(3.0);
+        d.record(2.0);
+        assert_eq!(d.history(), &[3.0, 2.0]);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        PlateauDetector::new(0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_observation_panics() {
+        PlateauDetector::new(2, 0.1).record(f64::NAN);
+    }
+}

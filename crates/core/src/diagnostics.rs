@@ -1,0 +1,219 @@
+//! MCMC chain diagnostics.
+//!
+//! The paper declares convergence by watching the perplexity trace
+//! "reach a stable state" (Figure 6). These helpers make such judgements
+//! quantitative: autocorrelation of a scalar trace, the effective sample
+//! size of the post-burn-in samples, and the Geweke z-score comparing the
+//! early and late segments of the chain.
+
+/// Sample mean of a trace.
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (denominator `n`), 0 for constant traces.
+fn variance(xs: &[f64], m: f64) -> f64 {
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Autocorrelation of `trace` at the given lag.
+///
+/// Returns `None` for traces shorter than `lag + 2` or with zero
+/// variance.
+pub fn autocorrelation(trace: &[f64], lag: usize) -> Option<f64> {
+    if trace.len() < lag + 2 {
+        return None;
+    }
+    let m = mean(trace);
+    let var = variance(trace, m);
+    if var == 0.0 {
+        return None;
+    }
+    let n = trace.len();
+    let cov = (0..n - lag)
+        .map(|i| (trace[i] - m) * (trace[i + lag] - m))
+        .sum::<f64>()
+        / n as f64;
+    Some(cov / var)
+}
+
+/// Effective sample size via the initial-positive-sequence estimator:
+/// `ESS = n / (1 + 2 * sum_l rho_l)`, truncating the sum at the first
+/// non-positive autocorrelation (Geyer 1992, simplified).
+///
+/// Returns `None` for traces shorter than 4 samples or with zero variance.
+pub fn effective_sample_size(trace: &[f64]) -> Option<f64> {
+    let n = trace.len();
+    if n < 4 {
+        return None;
+    }
+    autocorrelation(trace, 1)?; // validates variance
+    let mut rho_sum = 0.0;
+    for lag in 1..n / 2 {
+        match autocorrelation(trace, lag) {
+            Some(rho) if rho > 0.0 => rho_sum += rho,
+            _ => break,
+        }
+    }
+    Some((n as f64 / (1.0 + 2.0 * rho_sum)).min(n as f64))
+}
+
+/// Geweke convergence z-score: compares the mean of the first
+/// `first_frac` of the trace against the last `last_frac`, normalized by
+/// their standard errors. |z| below ~2 is consistent with stationarity.
+///
+/// Returns `None` if either segment has fewer than 2 samples or both
+/// segments are constant.
+pub fn geweke_z(trace: &[f64], first_frac: f64, last_frac: f64) -> Option<f64> {
+    assert!(
+        first_frac > 0.0 && last_frac > 0.0 && first_frac + last_frac <= 1.0,
+        "fractions must be positive and sum to at most 1"
+    );
+    let n = trace.len();
+    let a_len = (n as f64 * first_frac) as usize;
+    let b_len = (n as f64 * last_frac) as usize;
+    if a_len < 2 || b_len < 2 {
+        return None;
+    }
+    let a = &trace[..a_len];
+    let b = &trace[n - b_len..];
+    let (ma, mb) = (mean(a), mean(b));
+    let se2 = variance(a, ma) / a_len as f64 + variance(b, mb) / b_len as f64;
+    if se2 == 0.0 {
+        return None;
+    }
+    Some((ma - mb) / se2.sqrt())
+}
+
+/// Summary of a scalar chain trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Lag-1 autocorrelation (if defined).
+    pub rho1: Option<f64>,
+    /// Effective sample size (if defined).
+    pub ess: Option<f64>,
+    /// Geweke z over the conventional (10%, 50%) split (if defined).
+    pub geweke: Option<f64>,
+}
+
+/// Compute a [`TraceSummary`] for a trace.
+///
+/// # Panics
+/// Panics on an empty trace.
+pub fn summarize_trace(trace: &[f64]) -> TraceSummary {
+    assert!(!trace.is_empty(), "cannot summarize an empty trace");
+    let m = mean(trace);
+    TraceSummary {
+        n: trace.len(),
+        mean: m,
+        std_dev: variance(trace, m).sqrt(),
+        rho1: autocorrelation(trace, 1),
+        ess: effective_sample_size(trace),
+        geweke: geweke_z(trace, 0.1, 0.5),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmsb_rand::{Rng, Xoshiro256PlusPlus};
+
+    fn iid_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        (0..n).map(|_| rng.next_f64()).collect()
+    }
+
+    #[test]
+    fn autocorrelation_of_iid_noise_is_small() {
+        let xs = iid_noise(5000, 1);
+        let rho = autocorrelation(&xs, 1).unwrap();
+        assert!(rho.abs() < 0.05, "rho1 = {rho}");
+    }
+
+    #[test]
+    fn autocorrelation_of_persistent_chain_is_high() {
+        // AR(1) with coefficient 0.95.
+        let noise = iid_noise(5000, 2);
+        let mut xs = vec![0.0];
+        for e in noise {
+            let prev = *xs.last().unwrap();
+            xs.push(0.95 * prev + e);
+        }
+        let rho = autocorrelation(&xs, 1).unwrap();
+        assert!(rho > 0.85, "rho1 = {rho}");
+    }
+
+    #[test]
+    fn autocorrelation_edge_cases() {
+        assert!(autocorrelation(&[1.0, 2.0], 1).is_none());
+        assert!(autocorrelation(&[3.0; 10], 1).is_none()); // zero variance
+        // Lag 0 is exactly 1 for any non-constant trace.
+        let xs = iid_noise(100, 3);
+        assert!((autocorrelation(&xs, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ess_of_iid_noise_is_near_n() {
+        let xs = iid_noise(2000, 4);
+        let ess = effective_sample_size(&xs).unwrap();
+        assert!(ess > 1200.0, "ess = {ess}");
+    }
+
+    #[test]
+    fn ess_of_correlated_chain_is_much_smaller() {
+        let noise = iid_noise(2000, 5);
+        let mut xs = vec![0.0];
+        for e in noise {
+            let prev = *xs.last().unwrap();
+            xs.push(0.98 * prev + 0.02 * e);
+        }
+        let ess = effective_sample_size(&xs).unwrap();
+        assert!(ess < 200.0, "ess = {ess}");
+    }
+
+    #[test]
+    fn geweke_detects_drift() {
+        // A strongly trending trace: early and late means differ.
+        let xs: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let z = geweke_z(&xs, 0.1, 0.5).unwrap();
+        assert!(z.abs() > 5.0, "z = {z}");
+        // A stationary trace: small z.
+        let xs = iid_noise(2000, 6);
+        let z = geweke_z(&xs, 0.1, 0.5).unwrap();
+        assert!(z.abs() < 3.0, "z = {z}");
+    }
+
+    #[test]
+    fn geweke_edge_cases() {
+        assert!(geweke_z(&[1.0, 2.0, 3.0], 0.1, 0.5).is_none());
+        assert!(geweke_z(&[5.0; 100], 0.1, 0.5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions")]
+    fn geweke_rejects_bad_fractions() {
+        geweke_z(&[1.0; 10], 0.6, 0.6);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let xs = iid_noise(500, 7);
+        let s = summarize_trace(&xs);
+        assert_eq!(s.n, 500);
+        assert!((s.mean - 0.5).abs() < 0.1);
+        assert!(s.std_dev > 0.2 && s.std_dev < 0.4);
+        assert!(s.rho1.is_some() && s.ess.is_some() && s.geweke.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn summary_rejects_empty() {
+        summarize_trace(&[]);
+    }
+}

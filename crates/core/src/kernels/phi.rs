@@ -1,0 +1,270 @@
+//! The local-parameter update (Eq. 5/6): SGRLD step on one vertex's `phi`.
+
+use super::RowView;
+use crate::state::PHI_MIN;
+use mmsb_rand::dist::Normal;
+use mmsb_rand::RngCore;
+
+/// Parameters of one `update_phi` invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct PhiParams {
+    /// Dirichlet prior concentration `alpha`.
+    pub alpha: f64,
+    /// Inter-community link probability `delta`.
+    pub delta: f64,
+    /// Step size `eps_t`.
+    pub eps: f64,
+    /// Gradient scale `N / |V_n|` of Eq. 5.
+    pub grad_scale: f64,
+}
+
+/// Accumulate the gradient of `sum_b log p(y_ab | phi_a, pi_b, beta)` with
+/// respect to `phi_a` (Eq. 6 summed over the neighbor set).
+///
+/// `neighbors.row(i)[..K]` must hold `pi_b` for neighbor `i`, and
+/// `linked[i]` the observation `y_ab`. `out` is overwritten.
+///
+/// Derivation: with `pi_ak = phi_ak / S`, `S = sum_j phi_aj`, the marginal
+/// likelihood of one pair is `Z = sum_k f_k` with
+/// `f_k = pi_ak * (p(y|k,k) * pi_bk + p(y|k != l) * (1 - pi_bk))`, and
+/// `d log Z / d phi_ak = f_k / (Z * phi_ak) - 1 / S`.
+pub fn phi_gradient(
+    phi_a: &[f64],
+    beta: &[f64],
+    neighbors: &RowView<'_>,
+    linked: &[bool],
+    delta: f64,
+    out: &mut [f64],
+) {
+    let k = phi_a.len();
+    assert_eq!(beta.len(), k, "beta dimension mismatch");
+    assert_eq!(out.len(), k, "gradient buffer dimension mismatch");
+    assert_eq!(
+        neighbors.len(),
+        linked.len(),
+        "each neighbor row needs an observation"
+    );
+
+    let s: f64 = phi_a.iter().sum();
+    debug_assert!(s > 0.0, "phi row must be positive");
+    let inv_s = 1.0 / s;
+
+    out.fill(0.0);
+    // f_k is reused across the Z pass and the accumulation pass.
+    let mut f = vec![0.0f64; k];
+    for (i, &y) in linked.iter().enumerate() {
+        let pi_b = neighbors.row(i);
+        let p_ne = if y { delta } else { 1.0 - delta };
+        let mut z = 0.0f64;
+        for c in 0..k {
+            let pi_ac = phi_a[c] * inv_s;
+            let pi_bc = pi_b[c] as f64;
+            let p_eq = if y { beta[c] } else { 1.0 - beta[c] };
+            let fc = pi_ac * (p_eq * pi_bc + p_ne * (1.0 - pi_bc));
+            f[c] = fc;
+            z += fc;
+        }
+        debug_assert!(z > 0.0, "pair marginal must be positive");
+        let inv_z = 1.0 / z;
+        for c in 0..k {
+            out[c] += f[c] * inv_z / phi_a[c] - inv_s;
+        }
+    }
+}
+
+/// One full SGRLD step (Eq. 5) on a vertex's `phi` row:
+///
+/// `phi* = | phi + eps/2 * (alpha - phi + grad_scale * grad)
+///          + sqrt(phi) * xi |`, with `xi ~ N(0, eps)`.
+///
+/// The noise is drawn from `rng` in coordinate order — callers that need
+/// reproducibility across drivers pass a per-`(iteration, vertex)` RNG.
+/// The result is clamped to [`crate::PHI_MIN`].
+pub fn update_phi_row<R: RngCore>(
+    phi_a: &[f64],
+    beta: &[f64],
+    neighbors: &RowView<'_>,
+    linked: &[bool],
+    params: &PhiParams,
+    rng: &mut R,
+    out: &mut [f64],
+) {
+    phi_gradient(phi_a, beta, neighbors, linked, params.delta, out);
+    let half_eps = 0.5 * params.eps;
+    let noise_scale = params.eps.sqrt();
+    for c in 0..phi_a.len() {
+        let drift = half_eps * (params.alpha - phi_a[c] + params.grad_scale * out[c]);
+        let noise = phi_a[c].sqrt() * noise_scale * Normal::standard_sample(rng);
+        let next = (phi_a[c] + drift + noise).abs();
+        debug_assert!(next.is_finite(), "phi update produced {next}");
+        out[c] = next.max(PHI_MIN);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmsb_rand::{Rng, Xoshiro256PlusPlus};
+
+    /// Reference log-likelihood: `sum_b log p(y_ab)` as a function of
+    /// `phi_a`, used for finite-difference gradient checks.
+    fn log_likelihood(
+        phi_a: &[f64],
+        beta: &[f64],
+        neighbors: &[Vec<f32>],
+        linked: &[bool],
+        delta: f64,
+    ) -> f64 {
+        let s: f64 = phi_a.iter().sum();
+        let mut total = 0.0;
+        for (pi_b, &y) in neighbors.iter().zip(linked) {
+            let p_ne = if y { delta } else { 1.0 - delta };
+            let mut z = 0.0;
+            for c in 0..phi_a.len() {
+                let pi_ac = phi_a[c] / s;
+                let pi_bc = pi_b[c] as f64;
+                let p_eq = if y { beta[c] } else { 1.0 - beta[c] };
+                z += pi_ac * (p_eq * pi_bc + p_ne * (1.0 - pi_bc));
+            }
+            total += z.ln();
+        }
+        total
+    }
+
+    fn random_setup(
+        k: usize,
+        n_neighbors: usize,
+        seed: u64,
+    ) -> (Vec<f64>, Vec<f64>, Vec<Vec<f32>>, Vec<bool>) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let phi_a: Vec<f64> = (0..k).map(|_| 0.1 + rng.next_f64()).collect();
+        let beta: Vec<f64> = (0..k).map(|_| 0.05 + 0.9 * rng.next_f64()).collect();
+        let neighbors: Vec<Vec<f32>> = (0..n_neighbors)
+            .map(|_| {
+                let raw: Vec<f64> = (0..k).map(|_| 0.05 + rng.next_f64()).collect();
+                let s: f64 = raw.iter().sum();
+                raw.iter().map(|&x| (x / s) as f32).collect()
+            })
+            .collect();
+        let linked: Vec<bool> = (0..n_neighbors).map(|_| rng.coin()).collect();
+        (phi_a, beta, neighbors, linked)
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (phi_a, beta, neighbors, linked) = random_setup(5, 7, 42);
+        let flat: Vec<f32> = neighbors.iter().flatten().copied().collect();
+        let view = RowView::new(&flat, 5);
+        let delta = 0.01;
+        let mut grad = vec![0.0; 5];
+        phi_gradient(&phi_a, &beta, &view, &linked, delta, &mut grad);
+
+        let h = 1e-6;
+        for c in 0..5 {
+            let mut plus = phi_a.clone();
+            plus[c] += h;
+            let mut minus = phi_a.clone();
+            minus[c] -= h;
+            let fd = (log_likelihood(&plus, &beta, &neighbors, &linked, delta)
+                - log_likelihood(&minus, &beta, &neighbors, &linked, delta))
+                / (2.0 * h);
+            assert!(
+                (grad[c] - fd).abs() < 1e-5 * (1.0 + fd.abs()),
+                "component {c}: analytic {} vs fd {fd}",
+                grad[c]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_zero_neighbors_is_zero() {
+        let (phi_a, beta, _, _) = random_setup(4, 0, 1);
+        let view = RowView::new(&[], 4);
+        let mut grad = vec![9.0; 4];
+        phi_gradient(&phi_a, &beta, &view, &[], 0.01, &mut grad);
+        assert_eq!(grad, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn update_keeps_phi_positive_and_finite() {
+        let (phi_a, beta, neighbors, linked) = random_setup(6, 10, 7);
+        let flat: Vec<f32> = neighbors.iter().flatten().copied().collect();
+        let view = RowView::new(&flat, 6);
+        let params = PhiParams {
+            alpha: 0.1,
+            delta: 1e-5,
+            eps: 0.01,
+            grad_scale: 100.0,
+        };
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut out = vec![0.0; 6];
+        for _ in 0..200 {
+            update_phi_row(&phi_a, &beta, &view, &linked, &params, &mut rng, &mut out);
+            assert!(out.iter().all(|&x| x >= PHI_MIN && x.is_finite()), "{out:?}");
+        }
+    }
+
+    #[test]
+    fn update_is_deterministic_given_rng() {
+        let (phi_a, beta, neighbors, linked) = random_setup(4, 5, 9);
+        let flat: Vec<f32> = neighbors.iter().flatten().copied().collect();
+        let view = RowView::new(&flat, 4);
+        let params = PhiParams {
+            alpha: 0.25,
+            delta: 1e-4,
+            eps: 0.005,
+            grad_scale: 50.0,
+        };
+        let mut r1 = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut r2 = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut o1 = vec![0.0; 4];
+        let mut o2 = vec![0.0; 4];
+        update_phi_row(&phi_a, &beta, &view, &linked, &params, &mut r1, &mut o1);
+        update_phi_row(&phi_a, &beta, &view, &linked, &params, &mut r2, &mut o2);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn zero_step_size_freezes_state_modulo_prior() {
+        // With eps = 0 both drift and noise vanish: phi* = phi.
+        let (phi_a, beta, neighbors, linked) = random_setup(4, 5, 11);
+        let flat: Vec<f32> = neighbors.iter().flatten().copied().collect();
+        let view = RowView::new(&flat, 4);
+        let params = PhiParams {
+            alpha: 0.25,
+            delta: 1e-4,
+            eps: 0.0,
+            grad_scale: 50.0,
+        };
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut out = vec![0.0; 4];
+        update_phi_row(&phi_a, &beta, &view, &linked, &params, &mut rng, &mut out);
+        for (a, b) in out.iter().zip(&phi_a) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn gradient_pulls_towards_linked_communities() {
+        // One linked neighbor fully in community 0, high beta_0: the
+        // gradient in component 0 should exceed the others.
+        let phi_a = vec![1.0, 1.0, 1.0];
+        let beta = vec![0.9, 0.9, 0.9];
+        let flat = [0.98f32, 0.01, 0.01];
+        let view = RowView::new(&flat, 3);
+        let mut grad = vec![0.0; 3];
+        phi_gradient(&phi_a, &beta, &view, &[true], 1e-5, &mut grad);
+        assert!(grad[0] > grad[1], "{grad:?}");
+        assert!(grad[0] > grad[2], "{grad:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "observation")]
+    fn mismatched_observations_panic() {
+        let (phi_a, beta, neighbors, _) = random_setup(4, 3, 13);
+        let flat: Vec<f32> = neighbors.iter().flatten().copied().collect();
+        let view = RowView::new(&flat, 4);
+        let mut grad = vec![0.0; 4];
+        phi_gradient(&phi_a, &beta, &view, &[true], 0.01, &mut grad);
+    }
+}

@@ -1,0 +1,135 @@
+//! SG-MCMC inference for assortative mixed-membership stochastic
+//! blockmodels — the core contribution of El-Helw et al., *Scalable
+//! Overlapping Community Detection* (IPDPS-W 2016), reimplemented in Rust.
+//!
+//! The model (paper §II): each vertex `a` has a membership distribution
+//! `pi_a` over `K` communities; each community `k` has a strength
+//! `beta_k`; a pair links with probability `beta_k` when both draw the
+//! same community `k` and with a small `delta` otherwise. Inference uses
+//! stochastic-gradient Riemannian Langevin dynamics (SGRLD) on the
+//! expanded-mean parameterizations `phi` (for `pi`) and `theta` (for
+//! `beta`), processing one mini-batch of vertex pairs per iteration.
+//!
+//! Three drivers share the same numerical kernels:
+//!
+//! * [`SequentialSampler`] — Algorithm 1 verbatim; the reference.
+//! * [`ParallelSampler`] — node-level parallelism over mini-batch vertices
+//!   (the paper's OpenMP layer, here rayon). Bitwise-identical chains to
+//!   the sequential sampler: all per-vertex randomness is derived from
+//!   `(seed, iteration, vertex)`, never from thread schedule.
+//! * [`DistributedSampler`] — the master–worker cluster execution
+//!   (paper §III) over the `mmsb-dkv` sharded store, run in lockstep
+//!   simulation: per-rank compute is executed for real and measured,
+//!   communication and RDMA time are charged to virtual clocks from the
+//!   `mmsb-netsim` cost models, and pipelining (double-buffered `pi`
+//!   loads) can be toggled — reproducing Figures 1–4 and Table III.
+//!
+//! A fourth driver, [`train_threaded`], runs the same master–worker
+//! protocol with real OS threads and `mmsb-comm` message passing (for
+//! functional/concurrency validation; it produces the identical chain).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mmsb_core::{SamplerConfig, SequentialSampler};
+//! use mmsb_graph::generate::planted::{generate_planted, PlantedConfig};
+//! use mmsb_graph::heldout::HeldOut;
+//! use mmsb_rand::Xoshiro256PlusPlus;
+//!
+//! let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+//! let gen = generate_planted(&PlantedConfig {
+//!     num_vertices: 120, num_communities: 4, mean_community_size: 35.0,
+//!     memberships_per_vertex: 1.2, internal_degree: 8.0, background_degree: 0.5,
+//! }, &mut rng);
+//! let (train, heldout) = HeldOut::split(&gen.graph, 40, &mut rng);
+//!
+//! let config = SamplerConfig::new(4).with_seed(1);
+//! let mut sampler = SequentialSampler::new(train, heldout, config).unwrap();
+//! sampler.run(50);
+//! let perplexity = sampler.evaluate_perplexity();
+//! assert!(perplexity.is_finite() && perplexity > 1.0);
+//! ```
+
+pub mod communities;
+pub mod convergence;
+pub mod diagnostics;
+pub mod eval;
+pub mod kernels;
+
+mod compute_model;
+mod config;
+mod perplexity;
+mod posterior;
+mod rngs;
+mod sampler;
+mod state;
+
+pub use compute_model::NodeComputeModel;
+pub use config::{SamplerConfig, StateLayout, StepSize};
+pub use perplexity::{link_probability, PerplexityAccumulator};
+pub use posterior::PosteriorMean;
+pub use sampler::distributed::{DistributedConfig, DistributedSampler};
+pub use sampler::parallel::ParallelSampler;
+pub use sampler::sequential::SequentialSampler;
+pub use sampler::threaded::{train_threaded, ThreadedOutcome};
+pub use state::{ModelState, PHI_MIN};
+
+/// Errors from sampler construction and execution.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Configuration failed validation.
+    InvalidConfig {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// The graph is too small for the configured samplers.
+    GraphTooSmall {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// A distributed-store failure (propagated from `mmsb-dkv`).
+    Store(mmsb_dkv::DkvError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            CoreError::GraphTooSmall { reason } => write!(f, "graph too small: {reason}"),
+            CoreError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mmsb_dkv::DkvError> for CoreError {
+    fn from(e: mmsb_dkv::DkvError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = CoreError::InvalidConfig {
+            reason: "k = 0".into(),
+        };
+        assert!(e.to_string().contains("k = 0"));
+        let e = CoreError::Store(mmsb_dkv::DkvError::KeyOutOfRange {
+            key: 1,
+            num_keys: 1,
+        });
+        assert!(e.to_string().contains("store"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Held-out perplexity (Eq. 7).
+//!
+//! The metric the paper's convergence plots (Figure 6) track: the
+//! exponential of the negative average log-likelihood of the held-out
+//! pairs, where the per-pair probability is *averaged over posterior
+//! samples before* taking the log.
+
+/// Marginal probability of observation `y` for a pair under the current
+/// parameters: `p(y=1) = sum_k pi_ak pi_bk beta_k +
+/// (1 - sum_k pi_ak pi_bk) delta`.
+#[inline]
+pub fn link_probability(pi_a: &[f32], pi_b: &[f32], beta: &[f64], delta: f64, y: bool) -> f64 {
+    let k = beta.len();
+    debug_assert!(pi_a.len() >= k && pi_b.len() >= k);
+    let mut same = 0.0f64; // sum_k pi_ak pi_bk
+    let mut linked = 0.0f64; // sum_k pi_ak pi_bk beta_k
+    for c in 0..k {
+        let p = pi_a[c] as f64 * pi_b[c] as f64;
+        same += p;
+        linked += p * beta[c];
+    }
+    // Guard against f32 rounding pushing `same` past 1.
+    let same = same.min(1.0);
+    let p1 = linked + (1.0 - same) * delta;
+    if y {
+        p1
+    } else {
+        1.0 - p1
+    }
+}
+
+/// Accumulates per-pair probabilities across posterior samples and
+/// reports the averaged perplexity of Eq. 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerplexityAccumulator {
+    /// `sum_t p_t(y_i)` per held-out pair `i`.
+    prob_sums: Vec<f64>,
+    /// Number of samples `T` recorded so far.
+    samples: u64,
+}
+
+impl PerplexityAccumulator {
+    /// Create an accumulator for `num_pairs` held-out pairs.
+    pub fn new(num_pairs: usize) -> Self {
+        Self {
+            prob_sums: vec![0.0; num_pairs],
+            samples: 0,
+        }
+    }
+
+    /// Number of held-out pairs tracked.
+    pub fn num_pairs(&self) -> usize {
+        self.prob_sums.len()
+    }
+
+    /// Number of posterior samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Record one posterior sample's per-pair probabilities (in the fixed
+    /// held-out pair order).
+    ///
+    /// # Panics
+    /// Panics if `probs.len()` differs from the accumulator size or any
+    /// probability is outside `[0, 1]`.
+    pub fn record(&mut self, probs: &[f64]) {
+        assert_eq!(
+            probs.len(),
+            self.prob_sums.len(),
+            "probability vector length mismatch"
+        );
+        for (s, &p) in self.prob_sums.iter_mut().zip(probs) {
+            assert!((0.0..=1.0).contains(&p) && !p.is_nan(), "bad probability {p}");
+            *s += p;
+        }
+        self.samples += 1;
+    }
+
+    /// The averaged perplexity over everything recorded so far:
+    /// `exp(-(1/|E_h|) sum_i log((1/T) sum_t p_t(y_i)))`.
+    ///
+    /// Returns `None` until at least one sample was recorded or if there
+    /// are no pairs.
+    pub fn value(&self) -> Option<f64> {
+        if self.samples == 0 || self.prob_sums.is_empty() {
+            return None;
+        }
+        let t = self.samples as f64;
+        let mut log_sum = 0.0;
+        for &s in &self.prob_sums {
+            // Clamp: a pair the model finds impossible would otherwise
+            // produce -inf and poison the whole metric.
+            log_sum += (s / t).max(1e-300).ln();
+        }
+        Some((-log_sum / self.prob_sums.len() as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_probability_known_values() {
+        // Both vertices fully in community 0 with beta_0 = 0.8.
+        let pi = [1.0f32, 0.0];
+        let beta = [0.8, 0.5];
+        let p1 = link_probability(&pi, &pi, &beta, 0.01, true);
+        assert!((p1 - 0.8).abs() < 1e-12);
+        let p0 = link_probability(&pi, &pi, &beta, 0.01, false);
+        assert!((p0 - 0.2).abs() < 1e-12);
+        // Disjoint communities: only delta remains.
+        let pi_b = [0.0f32, 1.0];
+        let p1 = link_probability(&pi, &pi_b, &beta, 0.01, true);
+        assert!((p1 - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_probability_is_a_probability() {
+        let pi_a = [0.3f32, 0.5, 0.2];
+        let pi_b = [0.1f32, 0.1, 0.8];
+        let beta = [0.9, 0.2, 0.6];
+        for delta in [1e-8, 0.01, 0.5] {
+            let p1 = link_probability(&pi_a, &pi_b, &beta, delta, true);
+            let p0 = link_probability(&pi_a, &pi_b, &beta, delta, false);
+            assert!((0.0..=1.0).contains(&p1));
+            assert!((p1 + p0 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn accumulator_averages_before_log() {
+        let mut acc = PerplexityAccumulator::new(2);
+        acc.record(&[0.2, 0.8]);
+        acc.record(&[0.4, 0.6]);
+        // avg = [0.3, 0.7]; perp = exp(-(ln .3 + ln .7)/2).
+        let expected = (-(0.3f64.ln() + 0.7f64.ln()) / 2.0).exp();
+        assert!((acc.value().unwrap() - expected).abs() < 1e-12);
+        assert_eq!(acc.samples(), 2);
+    }
+
+    #[test]
+    fn perfect_predictions_give_perplexity_one() {
+        let mut acc = PerplexityAccumulator::new(3);
+        acc.record(&[1.0, 1.0, 1.0]);
+        assert!((acc.value().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_or_unsampled_is_none() {
+        assert_eq!(PerplexityAccumulator::new(0).value(), None);
+        assert_eq!(PerplexityAccumulator::new(3).value(), None);
+    }
+
+    #[test]
+    fn zero_probability_is_clamped_not_infinite() {
+        let mut acc = PerplexityAccumulator::new(1);
+        acc.record(&[0.0]);
+        let v = acc.value().unwrap();
+        assert!(v.is_finite() && v > 1e100);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn record_wrong_length_panics() {
+        PerplexityAccumulator::new(2).record(&[0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad probability")]
+    fn record_invalid_probability_panics() {
+        PerplexityAccumulator::new(1).record(&[1.5]);
+    }
+
+    #[test]
+    fn better_predictions_lower_perplexity() {
+        let mut good = PerplexityAccumulator::new(2);
+        good.record(&[0.9, 0.9]);
+        let mut bad = PerplexityAccumulator::new(2);
+        bad.record(&[0.5, 0.5]);
+        assert!(good.value().unwrap() < bad.value().unwrap());
+    }
+}

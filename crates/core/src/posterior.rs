@@ -1,0 +1,170 @@
+//! Posterior averaging of the membership matrix.
+//!
+//! A single MCMC state is one posterior sample; Eq. 7 already averages
+//! per-pair probabilities across samples for perplexity, and the same
+//! should be done for community extraction: average `pi` over the thinned
+//! tail of the chain, then threshold. This smooths the per-sample Langevin
+//! noise out of the reported memberships.
+
+use crate::communities::Communities;
+use crate::ModelState;
+use mmsb_graph::VertexId;
+
+/// Running mean of `pi` across recorded posterior samples.
+#[derive(Debug, Clone)]
+pub struct PosteriorMean {
+    n: u32,
+    k: usize,
+    /// `N x K` running sums (f64 to avoid drift across many samples).
+    sums: Vec<f64>,
+    samples: u64,
+}
+
+impl PosteriorMean {
+    /// Create an accumulator for an `N x K` membership matrix.
+    ///
+    /// # Panics
+    /// Panics on zero dimensions.
+    pub fn new(n: u32, k: usize) -> Self {
+        assert!(n > 0 && k > 0, "posterior mean needs n > 0 and k > 0");
+        Self {
+            n,
+            k,
+            sums: vec![0.0; n as usize * k],
+            samples: 0,
+        }
+    }
+
+    /// Record one posterior sample.
+    ///
+    /// # Panics
+    /// Panics if the state's dimensions disagree with the accumulator.
+    pub fn record(&mut self, state: &ModelState) {
+        assert_eq!(state.n(), self.n, "vertex-count mismatch");
+        assert_eq!(state.k(), self.k, "community-count mismatch");
+        for a in 0..self.n {
+            let row = state.pi_row(a);
+            let base = a as usize * self.k;
+            for (j, &p) in row.iter().enumerate() {
+                self.sums[base + j] += p as f64;
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The averaged membership row of vertex `a`.
+    ///
+    /// # Panics
+    /// Panics if no samples were recorded.
+    pub fn mean_pi_row(&self, a: VertexId) -> Vec<f32> {
+        assert!(self.samples > 0, "no posterior samples recorded");
+        let t = self.samples as f64;
+        let base = a.index() * self.k;
+        self.sums[base..base + self.k]
+            .iter()
+            .map(|&s| (s / t) as f32)
+            .collect()
+    }
+
+    /// Threshold-extract communities from the *averaged* memberships.
+    ///
+    /// # Panics
+    /// Panics if no samples were recorded or the threshold is outside
+    /// `[0, 1)`.
+    pub fn communities(&self, threshold: f32) -> Communities {
+        assert!(self.samples > 0, "no posterior samples recorded");
+        assert!(
+            (0.0..1.0).contains(&threshold),
+            "threshold {threshold} outside [0, 1)"
+        );
+        let t = self.samples as f64;
+        let mut members = vec![Vec::new(); self.k];
+        for a in 0..self.n {
+            let base = a as usize * self.k;
+            for (c, member_list) in members.iter_mut().enumerate() {
+                if (self.sums[base + c] / t) as f32 > threshold {
+                    member_list.push(VertexId(a));
+                }
+            }
+        }
+        Communities { members }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StateLayout;
+    use mmsb_rand::Xoshiro256PlusPlus;
+
+    fn state(seed: u64) -> ModelState {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        ModelState::init(10, 3, StateLayout::PiSumPhi, 0.5, (1.0, 1.0), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn single_sample_mean_equals_the_sample() {
+        let s = state(1);
+        let mut pm = PosteriorMean::new(10, 3);
+        pm.record(&s);
+        for a in 0..10 {
+            let mean = pm.mean_pi_row(VertexId(a));
+            for (m, &p) in mean.iter().zip(s.pi_row(a)) {
+                assert!((m - p).abs() < 1e-7);
+            }
+        }
+        assert_eq!(pm.samples(), 1);
+    }
+
+    #[test]
+    fn mean_of_two_samples_is_the_midpoint() {
+        let s1 = state(1);
+        let s2 = state(2);
+        let mut pm = PosteriorMean::new(10, 3);
+        pm.record(&s1);
+        pm.record(&s2);
+        let mean = pm.mean_pi_row(VertexId(0));
+        for (j, &m) in mean.iter().enumerate() {
+            let expected = 0.5 * (s1.pi_row(0)[j] as f64 + s2.pi_row(0)[j] as f64);
+            assert!((m as f64 - expected).abs() < 1e-7, "j={j}");
+        }
+    }
+
+    #[test]
+    fn averaged_rows_remain_on_simplex() {
+        let mut pm = PosteriorMean::new(10, 3);
+        for seed in 0..5 {
+            pm.record(&state(seed));
+        }
+        for a in 0..10 {
+            let sum: f32 = pm.mean_pi_row(VertexId(a)).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "vertex {a} sum {sum}");
+        }
+    }
+
+    #[test]
+    fn communities_from_average() {
+        let mut pm = PosteriorMean::new(10, 3);
+        pm.record(&state(7));
+        let c = pm.communities(0.1);
+        assert_eq!(c.num_communities(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no posterior samples")]
+    fn empty_accumulator_panics_on_read() {
+        PosteriorMean::new(4, 2).mean_pi_row(VertexId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "community-count mismatch")]
+    fn dimension_mismatch_panics() {
+        let s = state(1); // k = 3
+        PosteriorMean::new(10, 4).record(&s);
+    }
+}

@@ -1,0 +1,656 @@
+//! The distributed master–worker driver (paper §III), in lockstep
+//! simulation.
+//!
+//! One master plus `R` workers. The mini-batch and its adjacency rows are
+//! scattered by the master; `pi` lives in an `mmsb-dkv` sharded store
+//! partitioned over the workers; `theta`/`beta` live at the master and
+//! `beta` is broadcast each iteration.
+//!
+//! **Execution model** (DESIGN.md §3/§6): every rank's compute runs for
+//! real, single-threaded, one rank at a time — so measurements are free of
+//! host contention — and is then scaled by the configured
+//! [`NodeComputeModel`] (the per-node OpenMP layer). Every communication
+//! and DKV operation advances the owning rank's [`ClusterClocks`] entry by
+//! an `mmsb-netsim` cost; barriers synchronize clocks to the max. The
+//! virtual makespan is what Figures 1–4 plot.
+//!
+//! **Chain fidelity**: the numerical trajectory is identical to the
+//! sequential and parallel drivers up to the floating-point association
+//! order of the distributed `theta`-gradient reduction (each worker sums
+//! its pair share, then shares are summed in rank order).
+
+use super::Engine;
+use crate::communities::Communities;
+use crate::compute_model::NodeComputeModel;
+use crate::config::{SamplerConfig, StateLayout};
+use crate::kernels::RowView;
+use crate::{CoreError, ModelState};
+use mmsb_dkv::pipeline::{schedule, PipelineMode};
+use mmsb_dkv::{DkvStore, Partition, ShardedStore};
+use mmsb_graph::heldout::HeldOut;
+use mmsb_graph::{Graph, VertexId};
+use mmsb_netsim::{collective, ClusterClocks, NetworkModel, Phase, PhaseTimes, TraceReport};
+use mmsb_rand::Xoshiro256PlusPlus;
+use std::time::Instant;
+
+/// Cluster-level configuration of the distributed sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedConfig {
+    /// Number of worker ranks `R` (the paper uses up to 64, plus the
+    /// master).
+    pub workers: usize,
+    /// Network cost model.
+    pub net: NetworkModel,
+    /// Per-node thread-parallelism model applied to measured compute.
+    pub node: NodeComputeModel,
+    /// Single- or double-buffered `pi` loads (Figure 3 / Table III).
+    pub pipeline: PipelineMode,
+    /// Mini-batch vertices per load/compute chunk.
+    pub chunk_vertices: usize,
+    /// Read combining: issue one RDMA read per *distinct* key in a chunk
+    /// instead of one per occurrence (neighbor sets of different
+    /// mini-batch vertices overlap). Affects modeled wire time only — the
+    /// data delivered is identical either way.
+    pub dedup_reads: bool,
+}
+
+impl DistributedConfig {
+    /// A DAS5-like configuration: FDR InfiniBand, 16-core nodes,
+    /// double-buffered loads, 16-vertex chunks.
+    pub fn das5(workers: usize) -> Self {
+        Self {
+            workers,
+            net: NetworkModel::fdr_infiniband(),
+            node: NodeComputeModel::das5_node(),
+            pipeline: PipelineMode::Double,
+            chunk_vertices: 16,
+            dedup_reads: false,
+        }
+    }
+
+    /// Toggle read combining.
+    pub fn with_dedup_reads(mut self, dedup: bool) -> Self {
+        self.dedup_reads = dedup;
+        self
+    }
+
+    /// Toggle pipelining.
+    pub fn with_pipeline(mut self, mode: PipelineMode) -> Self {
+        self.pipeline = mode;
+        self
+    }
+
+    /// Override the network model.
+    pub fn with_net(mut self, net: NetworkModel) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Override the node compute model.
+    pub fn with_node(mut self, node: NodeComputeModel) -> Self {
+        self.node = node;
+        self
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.workers == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "distributed sampler needs at least one worker".into(),
+            });
+        }
+        if self.chunk_vertices == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "chunk_vertices must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The distributed SG-MCMC sampler over a simulated cluster.
+pub struct DistributedSampler {
+    engine: Engine,
+    dcfg: DistributedConfig,
+    store: ShardedStore,
+    /// Index 0 is the master; worker `w` is rank `w + 1`.
+    clocks: ClusterClocks,
+    trace: PhaseTimes,
+}
+
+/// Evenly split `items` into `parts` contiguous chunks (first chunks get
+/// the remainder).
+fn split_contiguous<T>(items: &[T], parts: usize) -> Vec<&[T]> {
+    let n = items.len();
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(&items[lo..lo + len]);
+        lo += len;
+    }
+    out
+}
+
+impl DistributedSampler {
+    /// Build a distributed sampler. The state layout must be
+    /// [`StateLayout::PiSumPhi`] (the DKV row format).
+    pub fn new(
+        graph: Graph,
+        heldout: HeldOut,
+        config: SamplerConfig,
+        dcfg: DistributedConfig,
+    ) -> Result<Self, CoreError> {
+        dcfg.validate()?;
+        if config.layout != StateLayout::PiSumPhi {
+            return Err(CoreError::InvalidConfig {
+                reason: "distributed sampler requires the PiSumPhi layout".into(),
+            });
+        }
+        let engine = Engine::new(graph, heldout, config)?;
+        let n = engine.graph.num_vertices();
+        let k = engine.config.k;
+        let mut store = ShardedStore::new(Partition::new(n, dcfg.workers), k + 1);
+        // Initial population of the collective memory (not charged to the
+        // clocks: the paper's measurements likewise start after loading).
+        let mut row = vec![0.0f32; k + 1];
+        for a in 0..n {
+            engine.state.encode_dkv_row(a, &mut row);
+            store.write_batch(&[a], &row)?;
+        }
+        Ok(Self {
+            engine,
+            dcfg,
+            store,
+            clocks: ClusterClocks::new(dcfg.workers + 1),
+            trace: PhaseTimes::new(),
+        })
+    }
+
+    /// Number of worker ranks.
+    pub fn workers(&self) -> usize {
+        self.dcfg.workers
+    }
+
+    /// Run one full iteration.
+    pub fn step(&mut self) {
+        let r = self.dcfg.workers;
+        let k = self.engine.config.k;
+        let net = self.dcfg.net;
+        let node = self.dcfg.node;
+
+        // ------------------------------------------------- master: draw
+        let t0 = Instant::now();
+        let mb = self.engine.draw_minibatch();
+        let draw = t0.elapsed().as_secs_f64();
+        self.trace.add(Phase::DrawMinibatch, draw);
+
+        let vertices = mb.vertices();
+        let vertex_shares = split_contiguous(&vertices, r);
+        let pair_shares = split_contiguous(&mb.pairs, r);
+        let weight_shares = split_contiguous(&mb.weights, r);
+
+        // Deploy: per-worker bytes = vertex ids + their adjacency rows +
+        // the worker's pair share (9 bytes: two ids + observation).
+        let deploy_bytes = vertex_shares
+            .iter()
+            .zip(&pair_shares)
+            .map(|(vs, ps)| {
+                let adjacency: usize = vs
+                    .iter()
+                    .map(|&a| self.engine.graph.degree(a) as usize * 4)
+                    .sum();
+                vs.len() * 4 + adjacency + ps.len() * 9
+            })
+            .max()
+            .unwrap_or(0);
+        let deploy = collective::scatter(&net, r + 1, deploy_bytes);
+        self.trace.add(Phase::DeployMinibatch, deploy);
+        self.clocks.advance(0, draw + deploy);
+        if self.dcfg.pipeline == PipelineMode::Single {
+            // Non-pipelined: workers wait for the deployment.
+            let ready = self.clocks.now(0);
+            for w in 0..r {
+                self.clocks.advance(w + 1, 0.0);
+                if self.clocks.now(w + 1) < ready {
+                    let wait = ready - self.clocks.now(w + 1);
+                    self.clocks.advance(w + 1, wait);
+                }
+            }
+        }
+        // Pipelined: the batch was prefetched during the previous
+        // iteration's update_phi; workers start immediately and the
+        // master's concurrent work folds into the end-of-iteration
+        // barrier.
+
+        // -------------------------------------- workers: update_phi
+        let mut all_updates: Vec<super::engine::PhiUpdate> = Vec::with_capacity(vertices.len());
+        let mut max_neigh = 0.0f64;
+        let mut max_load = 0.0f64;
+        let mut max_compute = 0.0f64;
+        for (w, share) in vertex_shares.iter().enumerate() {
+            let rank = w + 1;
+            // Sample neighbor sets (worker compute, thread-parallel on the
+            // node).
+            let t0 = Instant::now();
+            let mut per_vertex: Vec<(VertexId, Vec<VertexId>, Xoshiro256PlusPlus)> = share
+                .iter()
+                .map(|&a| {
+                    let mut rng =
+                        crate::rngs::vertex_rng(self.engine.config.seed, self.engine.iteration, a.0);
+                    let ns = self
+                        .engine
+                        .neighbors
+                        .sample(a, Some(&self.engine.heldout), &mut rng);
+                    (a, ns, rng)
+                })
+                .collect();
+            let neigh = node.scale(t0.elapsed().as_secs_f64());
+            self.clocks.advance(rank, neigh);
+            max_neigh = max_neigh.max(neigh);
+
+            // Chunked load + compute over this worker's vertices. The
+            // read buffer is reused across chunks: per-chunk multi-MB
+            // allocations would add allocator noise to the measured
+            // compute segments.
+            let row_len = k + 1;
+            let mut loads = Vec::new();
+            let mut computes = Vec::new();
+            let max_chunk_keys = self.dcfg.chunk_vertices
+                * (1 + self.engine.config.neighbor_sample);
+            let mut buf = vec![0.0f32; max_chunk_keys * row_len];
+            let mut keys = Vec::with_capacity(max_chunk_keys);
+            for chunk in per_vertex.chunks_mut(self.dcfg.chunk_vertices) {
+                // Keys: own row then neighbor rows, per vertex.
+                keys.clear();
+                for (a, ns, _) in chunk.iter() {
+                    keys.push(a.0);
+                    keys.extend(ns.iter().map(|b| b.0));
+                }
+                let buf = &mut buf[..keys.len() * row_len];
+                self.store
+                    .read_batch(&keys, buf)
+                    .expect("keys are valid vertex ids");
+                if self.dcfg.dedup_reads {
+                    let mut unique = keys.clone();
+                    unique.sort_unstable();
+                    unique.dedup();
+                    loads.push(self.store.read_cost(w, &unique, &net));
+                } else {
+                    loads.push(self.store.read_cost(w, &keys, &net));
+                }
+
+                let t0 = Instant::now();
+                let mut offset = 0usize;
+                for (a, ns, rng) in chunk.iter_mut() {
+                    let own = &buf[offset * row_len..(offset + 1) * row_len];
+                    let nrows =
+                        &buf[(offset + 1) * row_len..(offset + 1 + ns.len()) * row_len];
+                    let linked: Vec<bool> =
+                        ns.iter().map(|&b| self.engine.graph.has_edge(*a, b)).collect();
+                    let update = self.engine.compute_phi_update_from_rows(
+                        *a,
+                        own,
+                        &RowView::new(nrows, row_len),
+                        &linked,
+                        rng,
+                    );
+                    all_updates.push(update);
+                    offset += 1 + ns.len();
+                }
+                computes.push(node.scale(t0.elapsed().as_secs_f64()));
+            }
+            let stage = schedule(&loads, &computes, self.dcfg.pipeline);
+            self.clocks.advance(rank, stage);
+            max_load = max_load.max(loads.iter().sum());
+            max_compute = max_compute.max(computes.iter().sum());
+        }
+        self.trace.add(Phase::SampleNeighbors, max_neigh);
+        self.trace.add(Phase::LoadPi, max_load);
+        self.trace.add(Phase::UpdatePhi, max_compute);
+
+        // Barrier before update_pi (memory consistency, paper §III-C).
+        let barrier_cost = net.barrier_time(r + 1);
+        self.clocks.barrier(barrier_cost);
+        self.trace.add(Phase::Barrier, barrier_cost);
+
+        // ------------------------------------------ workers: update_pi
+        // Apply updates to the authoritative state, then write the fresh
+        // rows through the store (per owning worker's share).
+        self.engine.apply_phi_updates(&all_updates);
+        let mut max_pi = 0.0f64;
+        let update_shares = split_contiguous(&all_updates, r);
+        for (w, share) in update_shares.iter().enumerate() {
+            let rank = w + 1;
+            let t0 = Instant::now();
+            let keys: Vec<u32> = share.iter().map(|(a, _)| a.0).collect();
+            let mut vals = vec![0.0f32; keys.len() * (k + 1)];
+            for (i, &key) in keys.iter().enumerate() {
+                self.engine
+                    .state
+                    .encode_dkv_row(key, &mut vals[i * (k + 1)..(i + 1) * (k + 1)]);
+            }
+            self.store
+                .write_batch(&keys, &vals)
+                .expect("mini-batch vertices are unique");
+            let compute = node.scale(t0.elapsed().as_secs_f64());
+            let wire = self.store.write_cost(w, &keys, &net);
+            self.clocks.advance(rank, compute + wire);
+            max_pi = max_pi.max(compute + wire);
+        }
+        self.trace.add(Phase::UpdatePi, max_pi);
+
+        // Barrier before update_beta (fresh pi everywhere).
+        self.clocks.barrier(barrier_cost);
+        self.trace.add(Phase::Barrier, barrier_cost);
+
+        // --------------------------------- update_beta_theta (4 steps)
+        let mut beta_stage = 0.0f64;
+        let mut grad_total = vec![0.0f64; 2 * k];
+        let mut max_grad_time = 0.0f64;
+        for (w, share) in pair_shares.iter().enumerate() {
+            let rank = w + 1;
+            // Load pi for the endpoints of this worker's pair share.
+            let keys: Vec<u32> = share
+                .iter()
+                .flat_map(|&(e, _)| [e.lo().0, e.hi().0])
+                .collect();
+            let wire = self.store.read_cost(w, &keys, &net);
+            let t0 = Instant::now();
+            let grad = self.engine.theta_gradient_slice(share, weight_shares[w]);
+            let compute = node.scale(t0.elapsed().as_secs_f64());
+            for (g, c) in grad_total.iter_mut().zip(&grad) {
+                *g += c;
+            }
+            self.clocks.advance(rank, wire + compute);
+            max_grad_time = max_grad_time.max(wire + compute);
+        }
+        beta_stage += max_grad_time;
+        // MPI reduce of the per-worker gradients to the master.
+        let reduce = collective::reduce(&net, r + 1, 2 * k * 8);
+        let t_reduce = self.clocks.barrier(reduce); // reduce is a sync point
+        beta_stage += reduce;
+        let _ = t_reduce;
+        // Master: theta step + beta broadcast.
+        let t0 = Instant::now();
+        self.engine.apply_theta_update(&grad_total);
+        let master_compute = t0.elapsed().as_secs_f64();
+        let bcast = collective::broadcast(&net, r + 1, k * 8);
+        self.clocks.advance(0, master_compute + bcast);
+        self.clocks.barrier(0.0);
+        beta_stage += master_compute + bcast;
+        self.trace.add(Phase::UpdateBetaTheta, beta_stage);
+
+        self.engine.bump_iteration();
+    }
+
+    /// Run `iterations` steps.
+    pub fn run(&mut self, iterations: u64) {
+        for _ in 0..iterations {
+            self.step();
+        }
+    }
+
+    /// Distributed held-out perplexity: each worker loads the `pi` rows of
+    /// its static `E_h` partition, computes its probabilities, and the
+    /// per-pair probabilities are gathered at the master, which folds them
+    /// into the running posterior average (Eq. 7). (The paper reduces
+    /// partial log-sums; gathering the probability vectors instead keeps
+    /// the posterior averaging bit-identical to the single-node drivers —
+    /// the wire cost of the gather is modeled either way.)
+    pub fn evaluate_perplexity(&mut self) -> f64 {
+        let r = self.dcfg.workers;
+        let net = self.dcfg.net;
+        let node = self.dcfg.node;
+        let total = self.engine.heldout.len();
+        let mut all_probs = Vec::with_capacity(total);
+        let mut max_t = 0.0f64;
+        let mut offset = 0usize;
+        for w in 0..r {
+            let rank = w + 1;
+            let share = self.engine.heldout.partition(w, r);
+            let keys: Vec<u32> = share
+                .iter()
+                .flat_map(|&(e, _)| [e.lo().0, e.hi().0])
+                .collect();
+            let wire = self.store.read_cost(w, &keys, &net);
+            let t0 = Instant::now();
+            let probs = self.engine.perplexity_probs(offset, offset + share.len());
+            let compute = node.scale(t0.elapsed().as_secs_f64());
+            offset += share.len();
+            all_probs.extend(probs);
+            self.clocks.advance(rank, wire + compute);
+            max_t = max_t.max(wire + compute);
+        }
+        let gather = collective::gather(&net, r + 1, (total / r.max(1)) * 8);
+        self.clocks.advance(0, gather);
+        self.clocks.barrier(0.0);
+        self.trace.add(Phase::Perplexity, max_t + gather);
+        self.engine.record_perplexity_sample(&all_probs)
+    }
+
+    /// The virtual (modeled cluster) time elapsed so far, in seconds.
+    pub fn virtual_time(&self) -> f64 {
+        self.clocks.max()
+    }
+
+    /// Completed iterations.
+    pub fn iteration(&self) -> u64 {
+        self.engine.iteration
+    }
+
+    /// The current model state.
+    pub fn state(&self) -> &ModelState {
+        &self.engine.state
+    }
+
+    /// Threshold-extract the inferred communities.
+    pub fn communities(&self, threshold: f32) -> Communities {
+        Communities::from_state(&self.engine.state, threshold)
+    }
+
+    /// The timing report over everything run so far (Figure 1 / Table III
+    /// rows).
+    pub fn report(&self) -> TraceReport {
+        TraceReport {
+            phases: self.trace.clone(),
+            iterations: self.engine.iteration,
+            total_seconds: self.clocks.max(),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn cluster_config(&self) -> &DistributedConfig {
+        &self.dcfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequentialSampler;
+    use mmsb_graph::generate::planted::{generate_planted, PlantedConfig};
+    use mmsb_rand::Xoshiro256PlusPlus;
+
+    fn setup(seed: u64) -> (Graph, HeldOut) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let gen = generate_planted(
+            &PlantedConfig {
+                num_vertices: 120,
+                num_communities: 3,
+                mean_community_size: 45.0,
+                memberships_per_vertex: 1.1,
+                internal_degree: 8.0,
+                background_degree: 0.5,
+            },
+            &mut rng,
+        );
+        HeldOut::split(&gen.graph, 40, &mut rng)
+    }
+
+    #[test]
+    fn split_contiguous_covers_everything() {
+        let items: Vec<u32> = (0..10).collect();
+        for parts in [1, 2, 3, 7, 10, 15] {
+            let shares = split_contiguous(&items, parts);
+            assert_eq!(shares.len(), parts);
+            let flat: Vec<u32> = shares.iter().flat_map(|s| s.iter().copied()).collect();
+            assert_eq!(flat, items, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_chain_closely() {
+        let (g, h) = setup(1);
+        let cfg = SamplerConfig::new(3).with_seed(7);
+        let mut seq = SequentialSampler::new(g.clone(), h.clone(), cfg.clone()).unwrap();
+        let mut dist = DistributedSampler::new(g, h, cfg, DistributedConfig::das5(4)).unwrap();
+        seq.run(10);
+        dist.run(10);
+        // pi rows must match bitwise (phi updates are per-vertex pure).
+        for a in 0..seq.state().n() {
+            assert_eq!(seq.state().pi_row(a), dist.state().pi_row(a), "vertex {a}");
+        }
+        // theta matches up to the reduction association order.
+        for (s, d) in seq.state().theta().iter().zip(dist.state().theta()) {
+            let rel = (s - d).abs() / s.abs().max(1e-12);
+            assert!(rel < 1e-6, "theta diverged: {s} vs {d}");
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_numerics() {
+        let (g, h) = setup(2);
+        let cfg = SamplerConfig::new(3).with_seed(3);
+        let mut d2 =
+            DistributedSampler::new(g.clone(), h.clone(), cfg.clone(), DistributedConfig::das5(2))
+                .unwrap();
+        let mut d8 = DistributedSampler::new(g, h, cfg, DistributedConfig::das5(8)).unwrap();
+        d2.run(8);
+        d8.run(8);
+        for a in 0..d2.state().n() {
+            assert_eq!(d2.state().pi_row(a), d8.state().pi_row(a), "vertex {a}");
+        }
+        let p2 = d2.evaluate_perplexity();
+        let p8 = d8.evaluate_perplexity();
+        assert!((p2 - p8).abs() / p2 < 1e-9, "{p2} vs {p8}");
+    }
+
+    #[test]
+    fn pipelining_changes_time_not_values() {
+        let (g, h) = setup(3);
+        let cfg = SamplerConfig::new(3).with_seed(5);
+        let mut single = DistributedSampler::new(
+            g.clone(),
+            h.clone(),
+            cfg.clone(),
+            DistributedConfig::das5(4).with_pipeline(PipelineMode::Single),
+        )
+        .unwrap();
+        let mut double = DistributedSampler::new(
+            g,
+            h,
+            cfg,
+            DistributedConfig::das5(4).with_pipeline(PipelineMode::Double),
+        )
+        .unwrap();
+        single.run(6);
+        double.run(6);
+        for a in 0..single.state().n() {
+            assert_eq!(single.state().pi_row(a), double.state().pi_row(a));
+        }
+        assert!(
+            double.virtual_time() <= single.virtual_time() + 1e-12,
+            "pipelining should never be slower: {} vs {}",
+            double.virtual_time(),
+            single.virtual_time()
+        );
+    }
+
+    #[test]
+    fn virtual_time_advances_and_report_is_consistent() {
+        let (g, h) = setup(4);
+        let cfg = SamplerConfig::new(3).with_seed(1);
+        let mut d = DistributedSampler::new(g, h, cfg, DistributedConfig::das5(4)).unwrap();
+        d.run(5);
+        assert!(d.virtual_time() > 0.0);
+        let r = d.report();
+        assert_eq!(r.iterations, 5);
+        assert!(r.total_ms_per_iter() > 0.0);
+        assert!(r.phases.total(Phase::LoadPi) > 0.0);
+        assert!(r.phases.total(Phase::UpdatePhi) > 0.0);
+        assert!(r.phases.count(Phase::Barrier) >= 10);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let (g, h) = setup(5);
+        let cfg = SamplerConfig::new(3);
+        assert!(DistributedSampler::new(
+            g.clone(),
+            h.clone(),
+            cfg.clone(),
+            DistributedConfig::das5(0)
+        )
+        .is_err());
+        let full = cfg.clone().with_layout(StateLayout::FullPhi);
+        assert!(DistributedSampler::new(g.clone(), h.clone(), full, DistributedConfig::das5(2))
+            .is_err());
+        let mut bad = DistributedConfig::das5(2);
+        bad.chunk_vertices = 0;
+        assert!(DistributedSampler::new(g, h, cfg, bad).is_err());
+    }
+
+    #[test]
+    fn dedup_reads_cannot_be_slower_and_do_not_change_values() {
+        let (g, h) = setup(7);
+        let cfg = SamplerConfig::new(4).with_seed(6);
+        let mut plain = DistributedSampler::new(
+            g.clone(),
+            h.clone(),
+            cfg.clone(),
+            DistributedConfig::das5(4),
+        )
+        .unwrap();
+        let mut dedup = DistributedSampler::new(
+            g,
+            h,
+            cfg,
+            DistributedConfig::das5(4).with_dedup_reads(true),
+        )
+        .unwrap();
+        plain.run(6);
+        dedup.run(6);
+        for a in 0..plain.state().n() {
+            assert_eq!(plain.state().pi_row(a), dedup.state().pi_row(a));
+        }
+        let lp = plain.report().phases.total(mmsb_netsim::Phase::LoadPi);
+        let ld = dedup.report().phases.total(mmsb_netsim::Phase::LoadPi);
+        assert!(ld <= lp + 1e-12, "dedup load {ld} > plain {lp}");
+    }
+
+    #[test]
+    fn more_workers_is_faster_for_fixed_problem() {
+        // The strong-scaling sanity check behind Figure 1: with compute
+        // dominated by per-worker shares, 8 workers should beat 2 workers
+        // in virtual time for the same chain.
+        let (g, h) = setup(6);
+        let cfg = SamplerConfig::new(8)
+            .with_seed(2)
+            .with_neighbor_sample(48)
+            .with_minibatch(mmsb_graph::minibatch::Strategy::RandomPair { size: 96 });
+        let mut d2 =
+            DistributedSampler::new(g.clone(), h.clone(), cfg.clone(), DistributedConfig::das5(2))
+                .unwrap();
+        let mut d8 = DistributedSampler::new(g, h, cfg, DistributedConfig::das5(8)).unwrap();
+        d2.run(6);
+        d8.run(6);
+        assert!(
+            d8.virtual_time() < d2.virtual_time(),
+            "8 workers {} vs 2 workers {}",
+            d8.virtual_time(),
+            d2.virtual_time()
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Shared iteration machinery.
+
+use crate::config::SamplerConfig;
+use crate::kernels::phi::{update_phi_row, PhiParams};
+use crate::kernels::theta::{theta_gradient_pair, update_theta};
+use crate::perplexity::{link_probability, PerplexityAccumulator};
+use crate::rngs;
+use crate::state::ModelState;
+use crate::CoreError;
+use mmsb_graph::heldout::HeldOut;
+use mmsb_graph::minibatch::{MiniBatch, MinibatchSampler};
+use mmsb_graph::neighbor::NeighborSampler;
+use mmsb_graph::{Graph, VertexId};
+use mmsb_rand::Xoshiro256PlusPlus;
+
+/// Shared sampler state and per-stage operations.
+///
+/// Drivers compose these operations; none of them consults thread or rank
+/// identity, which is what keeps chains identical across drivers.
+pub(crate) struct Engine {
+    pub graph: Graph,
+    pub heldout: HeldOut,
+    pub config: SamplerConfig,
+    pub state: ModelState,
+    pub master_rng: Xoshiro256PlusPlus,
+    pub theta_rng: Xoshiro256PlusPlus,
+    pub minibatch: MinibatchSampler,
+    pub neighbors: NeighborSampler,
+    pub perplexity: PerplexityAccumulator,
+    pub iteration: u64,
+}
+
+/// One vertex's pending `phi` update.
+pub(crate) type PhiUpdate = (VertexId, Vec<f64>);
+
+impl Engine {
+    pub fn new(graph: Graph, heldout: HeldOut, config: SamplerConfig) -> Result<Self, CoreError> {
+        config.validate(graph.num_vertices())?;
+        let mut init = rngs::init_rng(config.seed);
+        let state = ModelState::init(
+            graph.num_vertices(),
+            config.k,
+            config.layout,
+            config.alpha,
+            config.eta,
+            &mut init,
+        )?;
+        Ok(Self {
+            master_rng: rngs::master_rng(config.seed),
+            theta_rng: rngs::theta_rng(config.seed),
+            minibatch: MinibatchSampler::new(config.minibatch),
+            neighbors: NeighborSampler::new(graph.num_vertices(), config.neighbor_sample),
+            perplexity: PerplexityAccumulator::new(heldout.len()),
+            graph,
+            heldout,
+            config,
+            state,
+            iteration: 0,
+        })
+    }
+
+    /// Swap in a new training snapshot (same vertex set, evolved edges)
+    /// and its held-out set, keeping the learned state — the streaming
+    /// setting the paper's introduction motivates (SG-MCMC only ever
+    /// touches mini-batches, so the data source may change under it).
+    /// The perplexity average restarts because the held-out set changed.
+    pub fn replace_graph(&mut self, graph: Graph, heldout: HeldOut) -> Result<(), CoreError> {
+        if graph.num_vertices() != self.graph.num_vertices() {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "snapshot has {} vertices, expected {}",
+                    graph.num_vertices(),
+                    self.graph.num_vertices()
+                ),
+            });
+        }
+        self.config.validate(graph.num_vertices())?;
+        self.perplexity = PerplexityAccumulator::new(heldout.len());
+        self.graph = graph;
+        self.heldout = heldout;
+        Ok(())
+    }
+
+    /// Stage 1: the master draws a mini-batch (consumes master RNG).
+    pub fn draw_minibatch(&mut self) -> MiniBatch {
+        self.minibatch
+            .sample(&self.graph, Some(&self.heldout), &mut self.master_rng)
+    }
+
+    /// The step size for the current iteration.
+    pub fn eps(&self) -> f64 {
+        self.config.step.at(self.iteration)
+    }
+
+    /// Stage 2 (per mini-batch vertex, pure): sample the neighbor set and
+    /// compute the vertex's `phi` update against the *current* state.
+    ///
+    /// All randomness comes from the `(seed, iteration, vertex)` stream.
+    pub fn compute_phi_update(&self, a: VertexId) -> PhiUpdate {
+        let k = self.config.k;
+        let mut rng = rngs::vertex_rng(self.config.seed, self.iteration, a.0);
+        let neighbors = self.neighbors.sample(a, Some(&self.heldout), &mut rng);
+
+        // Gather neighbor pi rows and observations.
+        let mut rows = vec![0.0f32; neighbors.len() * k];
+        let mut linked = vec![false; neighbors.len()];
+        for (i, &b) in neighbors.iter().enumerate() {
+            rows[i * k..(i + 1) * k].copy_from_slice(self.state.pi_row(b.0));
+            linked[i] = self.graph.has_edge(a, b);
+        }
+
+        let mut phi_a = vec![0.0f64; k];
+        self.state.phi_row(a.0, &mut phi_a);
+        let params = PhiParams {
+            alpha: self.config.alpha,
+            delta: self.config.delta,
+            eps: self.eps(),
+            grad_scale: self.graph.num_vertices() as f64 / neighbors.len().max(1) as f64,
+        };
+        let mut out = vec![0.0f64; k];
+        update_phi_row(
+            &phi_a,
+            self.state.beta(),
+            &crate::kernels::RowView::new(&rows, k),
+            &linked,
+            &params,
+            &mut rng,
+            &mut out,
+        );
+        (a, out)
+    }
+
+    /// Distributed variant of [`Engine::compute_phi_update`]: the vertex's
+    /// own DKV row and its neighbors' rows were already loaded from the
+    /// store (stride `k + 1`: `pi ++ sum(phi)`), and the neighbor set was
+    /// sampled earlier from `rng` (which must be passed back in so the
+    /// noise draws continue the same per-vertex stream).
+    ///
+    /// Produces bit-identical results to the local variant because the
+    /// store rows are the same f32 values held in [`ModelState`].
+    pub fn compute_phi_update_from_rows(
+        &self,
+        a: VertexId,
+        own_row: &[f32],
+        neighbor_rows: &crate::kernels::RowView<'_>,
+        linked: &[bool],
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> PhiUpdate {
+        phi_update_from_dkv_rows(
+            &WorkerParams {
+                k: self.config.k,
+                n: self.graph.num_vertices(),
+                alpha: self.config.alpha,
+                delta: self.config.delta,
+                eps: self.eps(),
+            },
+            self.state.beta(),
+            a,
+            own_row,
+            neighbor_rows,
+            linked,
+            rng,
+        )
+    }
+
+    /// Stage 3: apply all `phi` updates (the `update_pi` barrier stage).
+    pub fn apply_phi_updates(&mut self, updates: &[PhiUpdate]) {
+        for (a, phi) in updates {
+            self.state.set_phi_row(a.0, phi);
+        }
+    }
+
+    /// Compute the weighted `theta` gradient contribution of a slice of
+    /// mini-batch pairs against the current (fresh) `pi`. Pure; used by
+    /// workers. `weights` must align with `pairs`.
+    pub fn theta_gradient_slice(
+        &self,
+        pairs: &[(mmsb_graph::Edge, bool)],
+        weights: &[f64],
+    ) -> Vec<f64> {
+        assert_eq!(pairs.len(), weights.len(), "weights must align with pairs");
+        let mut grad = vec![0.0f64; 2 * self.config.k];
+        for (&(e, y), &w) in pairs.iter().zip(weights) {
+            theta_gradient_pair(
+                self.state.pi_row(e.lo().0),
+                self.state.pi_row(e.hi().0),
+                y,
+                w,
+                self.state.beta(),
+                self.state.theta(),
+                self.config.delta,
+                &mut grad,
+            );
+        }
+        grad
+    }
+
+    /// Stage 4 (master): apply the `theta` SGRLD step from an accumulated
+    /// *weighted* gradient (the per-pair mini-batch weights already encode
+    /// `h(E_n)`; consumes the dedicated theta-noise RNG stream) and
+    /// refresh `beta`.
+    pub fn apply_theta_update(&mut self, grad: &[f64]) {
+        let eps = self.eps();
+        update_theta(
+            self.state.theta_mut(),
+            grad,
+            1.0,
+            self.config.eta,
+            eps,
+            &mut self.theta_rng,
+        );
+        self.state.recompute_beta();
+    }
+
+    /// Per-pair probabilities for a contiguous held-out range (pure).
+    pub fn perplexity_probs(&self, lo: usize, hi: usize) -> Vec<f64> {
+        self.heldout.pairs()[lo..hi]
+            .iter()
+            .map(|&(e, y)| {
+                link_probability(
+                    self.state.pi_row(e.lo().0),
+                    self.state.pi_row(e.hi().0),
+                    self.state.beta(),
+                    self.config.delta,
+                    y,
+                )
+            })
+            .collect()
+    }
+
+    /// Record one posterior sample into the running perplexity average and
+    /// return the current averaged perplexity.
+    pub fn record_perplexity_sample(&mut self, probs: &[f64]) -> f64 {
+        self.perplexity.record(probs);
+        self.perplexity
+            .value()
+            .expect("record() guarantees at least one sample")
+    }
+
+    /// Advance the iteration counter.
+    pub fn bump_iteration(&mut self) {
+        self.iteration += 1;
+    }
+}
+
+/// Per-iteration scalar parameters a worker needs for its `phi` updates.
+pub(crate) struct WorkerParams {
+    pub k: usize,
+    pub n: u32,
+    pub alpha: f64,
+    pub delta: f64,
+    pub eps: f64,
+}
+
+/// Worker-side `phi` update from DKV rows — shared by the lockstep and
+/// threaded distributed drivers so their numerics are identical by
+/// construction.
+pub(crate) fn phi_update_from_dkv_rows(
+    params: &WorkerParams,
+    beta: &[f64],
+    a: VertexId,
+    own_row: &[f32],
+    neighbor_rows: &crate::kernels::RowView<'_>,
+    linked: &[bool],
+    rng: &mut Xoshiro256PlusPlus,
+) -> PhiUpdate {
+    let k = params.k;
+    assert_eq!(own_row.len(), k + 1, "own DKV row must be K + 1 floats");
+    let sum = own_row[k] as f64;
+    let phi_a: Vec<f64> = own_row[..k]
+        .iter()
+        .map(|&p| (p as f64 * sum).max(crate::state::PHI_MIN))
+        .collect();
+    let kernel_params = PhiParams {
+        alpha: params.alpha,
+        delta: params.delta,
+        eps: params.eps,
+        grad_scale: params.n as f64 / linked.len().max(1) as f64,
+    };
+    let mut out = vec![0.0f64; k];
+    update_phi_row(
+        &phi_a,
+        beta,
+        neighbor_rows,
+        linked,
+        &kernel_params,
+        rng,
+        &mut out,
+    );
+    (a, out)
+}

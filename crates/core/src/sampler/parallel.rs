@@ -1,0 +1,163 @@
+//! The node-level parallel driver (the paper's OpenMP layer).
+//!
+//! `update_phi` is data-parallel over mini-batch vertices and the held-out
+//! perplexity is data-parallel over pairs; both fan out over rayon. Every
+//! random draw is keyed by `(seed, iteration, vertex)`, so the chain is
+//! **bitwise identical** to [`crate::SequentialSampler`] regardless of the
+//! number of threads or the scheduler — the property the equivalence tests
+//! pin down.
+
+use super::Engine;
+use crate::communities::Communities;
+use crate::config::SamplerConfig;
+use crate::{CoreError, ModelState};
+use mmsb_graph::heldout::HeldOut;
+use mmsb_graph::Graph;
+use rayon::prelude::*;
+
+/// Multi-threaded SG-MCMC sampler.
+pub struct ParallelSampler {
+    engine: Engine,
+}
+
+impl ParallelSampler {
+    /// Build a sampler over a training graph and held-out set. Uses the
+    /// global rayon pool.
+    pub fn new(graph: Graph, heldout: HeldOut, config: SamplerConfig) -> Result<Self, CoreError> {
+        Ok(Self {
+            engine: Engine::new(graph, heldout, config)?,
+        })
+    }
+
+    /// Run one full iteration.
+    pub fn step(&mut self) {
+        let mb = self.engine.draw_minibatch();
+        let vertices = mb.vertices();
+        // Parallel phase: pure per-vertex computation; results arrive in
+        // vertex order because par_iter preserves indexed order on collect.
+        let updates: Vec<_> = vertices
+            .par_iter()
+            .map(|&a| self.engine.compute_phi_update(a))
+            .collect();
+        self.engine.apply_phi_updates(&updates);
+        // Theta gradient: summed serially in mini-batch order so the
+        // floating-point reduction order matches the sequential driver.
+        let grad = self.engine.theta_gradient_slice(&mb.pairs, &mb.weights);
+        self.engine.apply_theta_update(&grad);
+        self.engine.bump_iteration();
+    }
+
+    /// Run `iterations` steps.
+    pub fn run(&mut self, iterations: u64) {
+        for _ in 0..iterations {
+            self.step();
+        }
+    }
+
+    /// Evaluate held-out perplexity (parallel over fixed-boundary chunks,
+    /// combined in chunk order — deterministic).
+    pub fn evaluate_perplexity(&mut self) -> f64 {
+        let n = self.engine.heldout.len();
+        let chunk = 1024;
+        let bounds: Vec<(usize, usize)> = (0..n.div_ceil(chunk))
+            .map(|i| (i * chunk, ((i + 1) * chunk).min(n)))
+            .collect();
+        let chunks: Vec<Vec<f64>> = bounds
+            .par_iter()
+            .map(|&(lo, hi)| self.engine.perplexity_probs(lo, hi))
+            .collect();
+        let probs: Vec<f64> = chunks.into_iter().flatten().collect();
+        self.engine.record_perplexity_sample(&probs)
+    }
+
+    /// Advance to a new training snapshot (same vertex set, evolved edge
+    /// set) without discarding the learned state — streaming-data usage.
+    pub fn advance_to_snapshot(
+        &mut self,
+        graph: Graph,
+        heldout: HeldOut,
+    ) -> Result<(), CoreError> {
+        self.engine.replace_graph(graph, heldout)
+    }
+
+    /// Completed iterations.
+    pub fn iteration(&self) -> u64 {
+        self.engine.iteration
+    }
+
+    /// The current model state.
+    pub fn state(&self) -> &ModelState {
+        &self.engine.state
+    }
+
+    /// Threshold-extract the inferred communities.
+    pub fn communities(&self, threshold: f32) -> Communities {
+        Communities::from_state(&self.engine.state, threshold)
+    }
+
+    /// The sampler's configuration.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.engine.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequentialSampler;
+    use mmsb_graph::generate::planted::{generate_planted, PlantedConfig};
+    use mmsb_rand::Xoshiro256PlusPlus;
+
+    fn setup(seed: u64) -> (Graph, HeldOut) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let gen = generate_planted(
+            &PlantedConfig {
+                num_vertices: 150,
+                num_communities: 3,
+                mean_community_size: 55.0,
+                memberships_per_vertex: 1.1,
+                internal_degree: 9.0,
+                background_degree: 0.5,
+            },
+            &mut rng,
+        );
+        HeldOut::split(&gen.graph, 50, &mut rng)
+    }
+
+    #[test]
+    fn matches_sequential_chain_bitwise() {
+        let (g, h) = setup(1);
+        let cfg = SamplerConfig::new(3).with_seed(9);
+        let mut seq = SequentialSampler::new(g.clone(), h.clone(), cfg.clone()).unwrap();
+        let mut par = ParallelSampler::new(g, h, cfg).unwrap();
+        seq.run(12);
+        par.run(12);
+        assert_eq!(seq.state().theta(), par.state().theta());
+        for a in 0..seq.state().n() {
+            assert_eq!(seq.state().pi_row(a), par.state().pi_row(a), "vertex {a}");
+        }
+    }
+
+    #[test]
+    fn perplexity_matches_sequential() {
+        let (g, h) = setup(2);
+        let cfg = SamplerConfig::new(3).with_seed(4);
+        let mut seq = SequentialSampler::new(g.clone(), h.clone(), cfg.clone()).unwrap();
+        let mut par = ParallelSampler::new(g, h, cfg).unwrap();
+        seq.run(5);
+        par.run(5);
+        let ps = seq.evaluate_perplexity();
+        let pp = par.evaluate_perplexity();
+        assert_eq!(ps, pp, "perplexity diverged: {ps} vs {pp}");
+    }
+
+    #[test]
+    fn runs_and_extracts_communities() {
+        let (g, h) = setup(3);
+        let mut s = ParallelSampler::new(g, h, SamplerConfig::new(3).with_seed(5)).unwrap();
+        s.run(30);
+        assert_eq!(s.iteration(), 30);
+        assert_eq!(s.communities(0.3).num_communities(), 3);
+        assert_eq!(s.config().k, 3);
+    }
+}

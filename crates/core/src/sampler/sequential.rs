@@ -1,0 +1,188 @@
+//! The sequential reference driver (Algorithm 1, staged form).
+
+use super::Engine;
+use crate::communities::Communities;
+use crate::config::SamplerConfig;
+use crate::{CoreError, ModelState};
+use mmsb_graph::heldout::HeldOut;
+use mmsb_graph::Graph;
+
+/// Single-threaded SG-MCMC sampler — the reference every other driver is
+/// tested against.
+pub struct SequentialSampler {
+    engine: Engine,
+}
+
+impl SequentialSampler {
+    /// Build a sampler over a training graph and held-out set.
+    pub fn new(graph: Graph, heldout: HeldOut, config: SamplerConfig) -> Result<Self, CoreError> {
+        Ok(Self {
+            engine: Engine::new(graph, heldout, config)?,
+        })
+    }
+
+    /// Run one full iteration (mini-batch, `phi` updates, `theta` update).
+    pub fn step(&mut self) {
+        let mb = self.engine.draw_minibatch();
+        let updates: Vec<_> = mb
+            .vertices()
+            .into_iter()
+            .map(|a| self.engine.compute_phi_update(a))
+            .collect();
+        self.engine.apply_phi_updates(&updates);
+        let grad = self.engine.theta_gradient_slice(&mb.pairs, &mb.weights);
+        self.engine.apply_theta_update(&grad);
+        self.engine.bump_iteration();
+    }
+
+    /// Run `iterations` steps.
+    pub fn run(&mut self, iterations: u64) {
+        for _ in 0..iterations {
+            self.step();
+        }
+    }
+
+    /// Evaluate held-out perplexity, folding the current state into the
+    /// running posterior average (Eq. 7).
+    pub fn evaluate_perplexity(&mut self) -> f64 {
+        let probs = self.engine.perplexity_probs(0, self.engine.heldout.len());
+        self.engine.record_perplexity_sample(&probs)
+    }
+
+    /// Advance to a new training snapshot (same vertex set, evolved edge
+    /// set) without discarding the learned state — streaming-data usage.
+    pub fn advance_to_snapshot(
+        &mut self,
+        graph: Graph,
+        heldout: HeldOut,
+    ) -> Result<(), CoreError> {
+        self.engine.replace_graph(graph, heldout)
+    }
+
+    /// Completed iterations.
+    pub fn iteration(&self) -> u64 {
+        self.engine.iteration
+    }
+
+    /// The current model state.
+    pub fn state(&self) -> &ModelState {
+        &self.engine.state
+    }
+
+    /// Threshold-extract the inferred communities.
+    pub fn communities(&self, threshold: f32) -> Communities {
+        Communities::from_state(&self.engine.state, threshold)
+    }
+
+    /// The sampler's configuration.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.engine.config
+    }
+
+    /// The training graph.
+    pub fn graph(&self) -> &Graph {
+        &self.engine.graph
+    }
+
+    /// The held-out evaluation set.
+    pub fn heldout(&self) -> &HeldOut {
+        &self.engine.heldout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmsb_graph::generate::planted::{generate_planted, PlantedConfig};
+    use mmsb_rand::Xoshiro256PlusPlus;
+
+    fn setup(seed: u64) -> (Graph, HeldOut) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let gen = generate_planted(
+            &PlantedConfig {
+                num_vertices: 200,
+                num_communities: 4,
+                mean_community_size: 55.0,
+                memberships_per_vertex: 1.1,
+                internal_degree: 10.0,
+                background_degree: 0.5,
+            },
+            &mut rng,
+        );
+        HeldOut::split(&gen.graph, 60, &mut rng)
+    }
+
+    #[test]
+    fn steps_advance_and_stay_finite() {
+        let (g, h) = setup(1);
+        let mut s = SequentialSampler::new(g, h, SamplerConfig::new(4).with_seed(2)).unwrap();
+        s.run(20);
+        assert_eq!(s.iteration(), 20);
+        for a in 0..s.state().n() {
+            let sum: f32 = s.state().pi_row(a).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "vertex {a} pi sum {sum}");
+        }
+        assert!(s.state().beta().iter().all(|&b| b > 0.0 && b < 1.0));
+    }
+
+    #[test]
+    fn perplexity_decreases_with_training() {
+        let (g, h) = setup(3);
+        let mut s = SequentialSampler::new(g, h, SamplerConfig::new(4).with_seed(4)).unwrap();
+        let before = s.evaluate_perplexity();
+        // Fresh accumulator for the "after" measurement: rebuild sampler
+        // state by training further and measuring on a new sampler clone of
+        // the trained state is overkill; instead run long and compare the
+        // running average, which still must drop markedly from random init.
+        s.run(400);
+        let mut after = 0.0;
+        for _ in 0..3 {
+            after = s.evaluate_perplexity();
+        }
+        assert!(
+            after < before,
+            "perplexity should improve: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_chain() {
+        let (g, h) = setup(5);
+        let cfg = SamplerConfig::new(3).with_seed(11);
+        let mut s1 = SequentialSampler::new(g.clone(), h.clone(), cfg.clone()).unwrap();
+        let mut s2 = SequentialSampler::new(g, h, cfg).unwrap();
+        s1.run(15);
+        s2.run(15);
+        assert_eq!(s1.state().theta(), s2.state().theta());
+        for a in 0..s1.state().n() {
+            assert_eq!(s1.state().pi_row(a), s2.state().pi_row(a), "vertex {a}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (g, h) = setup(6);
+        let mut s1 =
+            SequentialSampler::new(g.clone(), h.clone(), SamplerConfig::new(3).with_seed(1))
+                .unwrap();
+        let mut s2 = SequentialSampler::new(g, h, SamplerConfig::new(3).with_seed(2)).unwrap();
+        s1.run(5);
+        s2.run(5);
+        assert_ne!(s1.state().theta(), s2.state().theta());
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let (g, h) = setup(7);
+        assert!(SequentialSampler::new(g, h, SamplerConfig::new(0)).is_err());
+    }
+
+    #[test]
+    fn communities_extractable_after_training() {
+        let (g, h) = setup(8);
+        let mut s = SequentialSampler::new(g, h, SamplerConfig::new(4).with_seed(3)).unwrap();
+        s.run(50);
+        let c = s.communities(0.25);
+        assert_eq!(c.num_communities(), 4);
+    }
+}

@@ -1,0 +1,280 @@
+//! Double-buffered (pipelined) chunked reads.
+//!
+//! Loading `pi` from the DKV store dominates `update_phi` (Table III: 205
+//! of 285 ms). The paper hides part of that latency by splitting the load
+//! into chunks and fetching chunk `i+1` while computing on chunk `i`
+//! (§III-D). This module provides:
+//!
+//! * [`schedule`] — the pure timing algebra of a two-stage pipeline, used
+//!   by the simulator and verified against hand-computed cases,
+//! * [`ChunkedReader`] — an executor that performs the real chunked reads
+//!   and compute calls, measures the compute, prices the loads with the
+//!   store's cost model, and reports both the pipelined and sequential
+//!   makespans. Numerics are identical in both modes; only time differs.
+
+use crate::{DkvError, DkvStore, ShardedStore};
+use mmsb_netsim::NetworkModel;
+use std::time::Instant;
+
+/// Buffering mode for the `pi` loader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// Load a chunk, compute on it, repeat — no overlap.
+    Single,
+    /// Double buffering: load of chunk `i+1` overlaps compute on chunk `i`.
+    Double,
+}
+
+/// Makespan of a two-stage pipeline with per-chunk `loads` and `computes`.
+///
+/// * `Single`: `Σ (load_i + compute_i)`.
+/// * `Double`: `load_0 + Σ_{i=1..n-1} max(load_i, compute_{i-1}) +
+///   compute_{n-1}` — each subsequent load hides behind the previous
+///   compute (or vice versa).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn schedule(loads: &[f64], computes: &[f64], mode: PipelineMode) -> f64 {
+    assert_eq!(
+        loads.len(),
+        computes.len(),
+        "every chunk needs a load and a compute time"
+    );
+    let n = loads.len();
+    if n == 0 {
+        return 0.0;
+    }
+    match mode {
+        PipelineMode::Single => loads.iter().sum::<f64>() + computes.iter().sum::<f64>(),
+        PipelineMode::Double => {
+            let mut t = loads[0];
+            for i in 1..n {
+                t += loads[i].max(computes[i - 1]);
+            }
+            t + computes[n - 1]
+        }
+    }
+}
+
+/// Result of one chunked, cost-accounted read-compute pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineRun {
+    /// Modeled makespan in seconds under the chosen mode.
+    pub total: f64,
+    /// Sum of modeled load (DKV read) times.
+    pub load: f64,
+    /// Sum of measured compute times.
+    pub compute: f64,
+    /// Number of chunks executed.
+    pub chunks: usize,
+}
+
+/// Chunked reader over a [`ShardedStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkedReader {
+    chunk_size: usize,
+    mode: PipelineMode,
+}
+
+impl ChunkedReader {
+    /// Create a reader with the given chunk size and mode.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size == 0`.
+    pub fn new(chunk_size: usize, mode: PipelineMode) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Self { chunk_size, mode }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> PipelineMode {
+        self.mode
+    }
+
+    /// The configured chunk size (keys per chunk).
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Read `keys` chunk-by-chunk from `store` as rank `rank`, invoking
+    /// `compute(chunk_start, chunk_keys, rows)` on each chunk's rows.
+    ///
+    /// Loads are priced with [`ShardedStore::read_cost`]; computes are
+    /// measured with a monotonic clock. The returned [`PipelineRun`]
+    /// contains the makespan under the configured mode.
+    pub fn run<F>(
+        &self,
+        store: &ShardedStore,
+        rank: usize,
+        keys: &[u32],
+        net: &NetworkModel,
+        mut compute: F,
+    ) -> Result<PipelineRun, DkvError>
+    where
+        F: FnMut(usize, &[u32], &[f32]),
+    {
+        let row_len = store.row_len();
+        let mut buf = vec![0.0f32; self.chunk_size * row_len];
+        let mut loads = Vec::new();
+        let mut computes = Vec::new();
+        for (ci, chunk) in keys.chunks(self.chunk_size).enumerate() {
+            let rows = &mut buf[..chunk.len() * row_len];
+            store.read_batch(chunk, rows)?;
+            loads.push(store.read_cost(rank, chunk, net));
+            let t0 = Instant::now();
+            compute(ci * self.chunk_size, chunk, rows);
+            computes.push(t0.elapsed().as_secs_f64());
+        }
+        Ok(PipelineRun {
+            total: schedule(&loads, &computes, self.mode),
+            load: loads.iter().sum(),
+            compute: computes.iter().sum(),
+            chunks: loads.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Partition;
+    use proptest::prelude::*;
+
+    #[test]
+    fn schedule_empty_is_zero() {
+        assert_eq!(schedule(&[], &[], PipelineMode::Single), 0.0);
+        assert_eq!(schedule(&[], &[], PipelineMode::Double), 0.0);
+    }
+
+    #[test]
+    fn schedule_single_chunk() {
+        // One chunk cannot overlap anything.
+        let s = schedule(&[2.0], &[3.0], PipelineMode::Single);
+        let d = schedule(&[2.0], &[3.0], PipelineMode::Double);
+        assert_eq!(s, 5.0);
+        assert_eq!(d, 5.0);
+    }
+
+    #[test]
+    fn schedule_hand_computed_case() {
+        // loads   = [1, 4, 2]
+        // compute = [3, 3, 3]
+        // single: 1+3 + 4+3 + 2+3 = 16
+        // double: 1 + max(4,3) + max(2,3) + 3 = 1+4+3+3 = 11
+        let loads = [1.0, 4.0, 2.0];
+        let computes = [3.0, 3.0, 3.0];
+        assert_eq!(schedule(&loads, &computes, PipelineMode::Single), 16.0);
+        assert_eq!(schedule(&loads, &computes, PipelineMode::Double), 11.0);
+    }
+
+    #[test]
+    fn perfectly_hidden_loads() {
+        // When every load fits under the previous compute, double buffering
+        // costs load_0 + sum(computes).
+        let loads = [1.0, 0.5, 0.5, 0.5];
+        let computes = [2.0, 2.0, 2.0, 2.0];
+        let d = schedule(&loads, &computes, PipelineMode::Double);
+        assert_eq!(d, 1.0 + 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "every chunk")]
+    fn mismatched_lengths_panic() {
+        schedule(&[1.0], &[], PipelineMode::Single);
+    }
+
+    proptest! {
+        /// Double buffering never loses to sequential execution and never
+        /// beats the critical-path lower bounds.
+        #[test]
+        fn schedule_bounds(
+            pairs in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..20)
+        ) {
+            let loads: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let computes: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let single = schedule(&loads, &computes, PipelineMode::Single);
+            let double = schedule(&loads, &computes, PipelineMode::Double);
+            prop_assert!(double <= single + 1e-9);
+            let sum_loads: f64 = loads.iter().sum();
+            let sum_computes: f64 = computes.iter().sum();
+            // Critical path: all loads must happen; all computes must happen.
+            prop_assert!(double + 1e-9 >= sum_loads.max(sum_computes));
+            // And the first load plus last compute are always exposed.
+            prop_assert!(double + 1e-9 >= loads[0] + computes[computes.len() - 1]);
+        }
+    }
+
+    fn test_store(ranks: usize) -> ShardedStore {
+        let mut s = ShardedStore::new(Partition::new(64, ranks), 2);
+        let keys: Vec<u32> = (0..64).collect();
+        let vals: Vec<f32> = keys.iter().flat_map(|&k| [k as f32, -(k as f32)]).collect();
+        s.write_batch(&keys, &vals).unwrap();
+        s
+    }
+
+    #[test]
+    fn reader_visits_all_chunks_in_order() {
+        let store = test_store(4);
+        let net = NetworkModel::fdr_infiniband();
+        let keys: Vec<u32> = (0..10).collect();
+        let reader = ChunkedReader::new(4, PipelineMode::Double);
+        let mut seen: Vec<(usize, Vec<u32>, Vec<f32>)> = Vec::new();
+        let run = reader
+            .run(&store, 0, &keys, &net, |start, ks, rows| {
+                seen.push((start, ks.to_vec(), rows.to_vec()));
+            })
+            .unwrap();
+        assert_eq!(run.chunks, 3); // 4 + 4 + 2
+        assert_eq!(seen[0].0, 0);
+        assert_eq!(seen[1].0, 4);
+        assert_eq!(seen[2].0, 8);
+        assert_eq!(seen[2].1, vec![8, 9]);
+        // Row contents delivered intact.
+        assert_eq!(seen[0].2[0..2], [0.0, -0.0]);
+        assert_eq!(seen[1].2[0..2], [4.0, -4.0]);
+    }
+
+    #[test]
+    fn reader_modes_have_identical_data_different_time() {
+        let store = test_store(8);
+        let net = NetworkModel::fdr_infiniband();
+        let keys: Vec<u32> = (0..64).collect();
+        let mut sums = Vec::new();
+        for mode in [PipelineMode::Single, PipelineMode::Double] {
+            let reader = ChunkedReader::new(8, mode);
+            let mut sum = 0.0f64;
+            let run = reader
+                .run(&store, 0, &keys, &net, |_, _, rows| {
+                    sum += rows.iter().map(|&x| x as f64).sum::<f64>();
+                    // Busy work so compute time is non-trivial relative to
+                    // the modeled load times.
+                    for _ in 0..2000 {
+                        std::hint::black_box(sum);
+                    }
+                })
+                .unwrap();
+            sums.push(sum);
+            assert!(run.total > 0.0);
+            assert!(run.load > 0.0);
+            assert!(run.compute > 0.0);
+        }
+        assert_eq!(sums[0], sums[1], "pipelining changed the numerics");
+    }
+
+    #[test]
+    fn reader_propagates_store_errors() {
+        let store = test_store(2);
+        let net = NetworkModel::fdr_infiniband();
+        let reader = ChunkedReader::new(4, PipelineMode::Single);
+        let err = reader
+            .run(&store, 0, &[1000], &net, |_, _, _| {})
+            .unwrap_err();
+        assert!(matches!(err, DkvError::KeyOutOfRange { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_panics() {
+        ChunkedReader::new(0, PipelineMode::Single);
+    }
+}

@@ -1,0 +1,162 @@
+//! Incremental, deduplicating graph construction.
+
+use crate::{Edge, FxHashSet, Graph, GraphError, VertexId};
+
+/// Builds a [`Graph`] from a stream of undirected edges.
+///
+/// Duplicate edges (in either orientation) are silently dropped; self-loops
+/// and out-of-range endpoints are rejected with an error. The builder keys
+/// a hash set with packed edges, so construction is `O(|E|)` expected.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: u32,
+    edges: FxHashSet<u64>,
+}
+
+impl GraphBuilder {
+    /// Start a builder for a graph with `num_vertices` vertices
+    /// (ids `0..num_vertices`).
+    pub fn new(num_vertices: u32) -> Self {
+        Self {
+            num_vertices,
+            edges: FxHashSet::default(),
+        }
+    }
+
+    /// Pre-size the internal edge set.
+    pub fn with_edge_capacity(num_vertices: u32, edges: usize) -> Self {
+        let mut set = FxHashSet::default();
+        set.reserve(edges);
+        Self {
+            num_vertices,
+            edges: set,
+        }
+    }
+
+    /// Number of vertices the final graph will have.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of distinct edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add one undirected edge. Returns `Ok(true)` if the edge was new,
+    /// `Ok(false)` if it was a duplicate.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId) -> Result<bool, GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop { vertex: a.0 });
+        }
+        for v in [a, b] {
+            if v.0 >= self.num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v.0,
+                    num_vertices: self.num_vertices,
+                });
+            }
+        }
+        Ok(self.edges.insert(Edge::new(a, b).pack()))
+    }
+
+    /// Bulk-add edges, stopping at the first error.
+    pub fn add_edges<I>(&mut self, edges: I) -> Result<(), GraphError>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        for (a, b) in edges {
+            self.add_edge(a, b)?;
+        }
+        Ok(())
+    }
+
+    /// Whether the given edge has been added.
+    pub fn contains(&self, a: VertexId, b: VertexId) -> bool {
+        a != b && self.edges.contains(&Edge::new(a, b).pack())
+    }
+
+    /// Finalize into an immutable CSR [`Graph`].
+    pub fn build(self) -> Graph {
+        Graph::from_packed_edges(self.num_vertices, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dedup_both_orientations() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge(VertexId(0), VertexId(1)).unwrap());
+        assert!(!b.add_edge(VertexId(1), VertexId(0)).unwrap());
+        assert_eq!(b.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(3);
+        assert!(matches!(
+            b.add_edge(VertexId(2), VertexId(2)),
+            Err(GraphError::SelfLoop { vertex: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(3);
+        assert!(matches!(
+            b.add_edge(VertexId(0), VertexId(3)),
+            Err(GraphError::VertexOutOfRange { vertex: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn contains_reflects_added_edges() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(VertexId(1), VertexId(3)).unwrap();
+        assert!(b.contains(VertexId(3), VertexId(1)));
+        assert!(!b.contains(VertexId(0), VertexId(1)));
+        assert!(!b.contains(VertexId(2), VertexId(2)));
+    }
+
+    #[test]
+    fn add_edges_bulk() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edges([(VertexId(0), VertexId(1)), (VertexId(2), VertexId(3))])
+            .unwrap();
+        assert_eq!(b.num_edges(), 2);
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new(10).build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    proptest! {
+        /// Whatever mix of duplicates we feed in, the built graph's edge
+        /// count equals the number of *distinct* canonical pairs.
+        #[test]
+        fn edge_count_matches_distinct_pairs(
+            pairs in proptest::collection::vec((0u32..50, 0u32..50), 0..300)
+        ) {
+            let mut b = GraphBuilder::new(50);
+            let mut reference = std::collections::HashSet::new();
+            for (x, y) in pairs {
+                if x == y { continue; }
+                let _ = b.add_edge(VertexId(x), VertexId(y));
+                reference.insert((x.min(y), x.max(y)));
+            }
+            prop_assert_eq!(b.num_edges(), reference.len());
+            let g = b.build();
+            prop_assert_eq!(g.num_edges(), reference.len() as u64);
+            for &(x, y) in &reference {
+                prop_assert!(g.has_edge(VertexId(x), VertexId(y)));
+            }
+        }
+    }
+}

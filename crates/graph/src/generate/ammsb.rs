@@ -1,0 +1,202 @@
+//! Exact a-MMSB generative sampler (small graphs).
+//!
+//! Samples a graph from the *exact* generative process of Section II-A of
+//! the paper: `beta_k ~ Beta(eta)`, `pi_a ~ Dirichlet(alpha)`, and for every
+//! pair `(a, b)` community indicators `z_ab ~ pi_a`, `z_ba ~ pi_b`, then
+//! `y_ab ~ Bernoulli(beta_k)` if `z_ab = z_ba = k` else `Bernoulli(delta)`.
+//!
+//! Enumerating all `N(N-1)/2` pairs costs `O(N^2)`, so this generator is
+//! meant for validation-scale graphs (N up to a few thousand): it gives the
+//! sampler data that *exactly* matches its modeling assumptions, which the
+//! integration tests use to check posterior recovery.
+
+use super::{GeneratedGraph, GroundTruth};
+use crate::{GraphBuilder, VertexId};
+use mmsb_rand::dist::{Beta, Dirichlet, Sample};
+use mmsb_rand::{Rng, RngCore};
+
+/// Parameters of the exact a-MMSB generative process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmmsbConfig {
+    /// Number of vertices `N`.
+    pub num_vertices: u32,
+    /// Number of communities `K`.
+    pub num_communities: usize,
+    /// Dirichlet concentration `alpha` for memberships.
+    pub alpha: f64,
+    /// Beta shape `eta` for community strengths.
+    pub eta: f64,
+    /// Inter-community link probability `delta`.
+    pub delta: f64,
+}
+
+/// The sampled latent state alongside the graph, for tests that want to
+/// compare recovered parameters against the truth.
+#[derive(Debug, Clone)]
+pub struct AmmsbSample {
+    /// The generated graph and hard ground-truth communities (vertex `a`
+    /// belongs to community `k` iff `pi_a[k] > 1/K`).
+    pub generated: GeneratedGraph,
+    /// True mixed memberships, row-major `N x K`.
+    pub pi: Vec<Vec<f64>>,
+    /// True community strengths, length `K`.
+    pub beta: Vec<f64>,
+}
+
+/// Draw a categorical index from a probability vector.
+fn categorical<R: RngCore>(probs: &[f64], rng: &mut R) -> usize {
+    let mut u = rng.next_f64() * probs.iter().sum::<f64>();
+    for (i, &p) in probs.iter().enumerate() {
+        if u < p {
+            return i;
+        }
+        u -= p;
+    }
+    probs.len() - 1
+}
+
+/// Sample a graph from the exact a-MMSB generative process.
+///
+/// # Panics
+/// Panics on invalid parameters (`delta` outside `(0,1)`, zero dims) and
+/// refuses `N > 20_000` (quadratic cost).
+pub fn generate_ammsb<R: RngCore>(config: &AmmsbConfig, rng: &mut R) -> AmmsbSample {
+    assert!(config.num_vertices >= 2, "need at least 2 vertices");
+    assert!(
+        config.num_vertices <= 20_000,
+        "exact a-MMSB generation is O(N^2); use the planted generator for N > 20k"
+    );
+    assert!(config.num_communities >= 1, "need at least 1 community");
+    assert!(
+        config.delta > 0.0 && config.delta < 1.0,
+        "delta must lie in (0, 1)"
+    );
+
+    let n = config.num_vertices as usize;
+    let k = config.num_communities;
+    let beta_dist = Beta::symmetric(config.eta).expect("validated eta");
+    let dir = Dirichlet::symmetric(config.alpha, k).expect("validated alpha");
+
+    let beta: Vec<f64> = (0..k).map(|_| beta_dist.sample(rng)).collect();
+    let pi: Vec<Vec<f64>> = (0..n).map(|_| dir.sample_simplex(rng)).collect();
+
+    let mut builder = GraphBuilder::new(config.num_vertices);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let za = categorical(&pi[a], rng);
+            let zb = categorical(&pi[b], rng);
+            let r = if za == zb { beta[za] } else { config.delta };
+            if rng.bernoulli(r) {
+                builder
+                    .add_edge(VertexId(a as u32), VertexId(b as u32))
+                    .expect("valid edge");
+            }
+        }
+    }
+
+    // Hard ground truth: thresholded memberships.
+    let threshold = 1.0 / k as f64;
+    let mut communities = vec![Vec::new(); k];
+    for (a, pa) in pi.iter().enumerate() {
+        for (c, &p) in pa.iter().enumerate() {
+            if p > threshold {
+                communities[c].push(VertexId(a as u32));
+            }
+        }
+    }
+
+    AmmsbSample {
+        generated: GeneratedGraph {
+            graph: builder.build(),
+            ground_truth: GroundTruth { communities },
+        },
+        pi,
+        beta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmsb_rand::Xoshiro256PlusPlus;
+
+    fn config() -> AmmsbConfig {
+        AmmsbConfig {
+            num_vertices: 150,
+            num_communities: 4,
+            alpha: 0.1,
+            eta: 1.0,
+            delta: 0.005,
+        }
+    }
+
+    #[test]
+    fn categorical_respects_mass() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let probs = [0.0, 0.0, 1.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(categorical(&probs, &mut rng), 2);
+        }
+        let probs = [0.5, 0.5];
+        let ones = (0..10_000)
+            .filter(|_| categorical(&probs, &mut rng) == 1)
+            .count();
+        assert!((4_500..5_500).contains(&ones));
+    }
+
+    #[test]
+    fn generates_consistent_shapes() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let s = generate_ammsb(&config(), &mut rng);
+        assert_eq!(s.pi.len(), 150);
+        assert!(s.pi.iter().all(|row| row.len() == 4));
+        assert_eq!(s.beta.len(), 4);
+        assert!(s.beta.iter().all(|&b| (0.0..=1.0).contains(&b)));
+        assert_eq!(s.generated.graph.num_vertices(), 150);
+    }
+
+    #[test]
+    fn pi_rows_are_simplex_points() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let s = generate_ammsb(&config(), &mut rng);
+        for row in &s.pi {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn same_community_vertices_link_more() {
+        // With concentrated memberships (small alpha), intra-community
+        // density should exceed delta substantially.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let cfg = AmmsbConfig {
+            num_vertices: 300,
+            num_communities: 3,
+            alpha: 0.05,
+            eta: 5.0, // pushes beta towards ~0.5
+            delta: 0.002,
+        };
+        let s = generate_ammsb(&cfg, &mut rng);
+        let density = s.generated.graph.num_edges() as f64 / s.generated.graph.num_pairs() as f64;
+        assert!(density > cfg.delta, "density {density} <= delta");
+    }
+
+    #[test]
+    #[should_panic(expected = "O(N^2)")]
+    fn refuses_huge_n() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut cfg = config();
+        cfg.num_vertices = 50_000;
+        generate_ammsb(&cfg, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn rejects_bad_delta() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let mut cfg = config();
+        cfg.delta = 0.0;
+        generate_ammsb(&cfg, &mut rng);
+    }
+}

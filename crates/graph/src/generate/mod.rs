@@ -1,0 +1,89 @@
+//! Synthetic graph generators with planted overlapping community structure.
+//!
+//! The paper evaluates on SNAP social graphs that are multi-gigabyte
+//! downloads with ground-truth community files. This module provides the
+//! substitutes (DESIGN.md §3): generators that produce graphs *from the
+//! model family the sampler assumes* (so convergence behaviour is
+//! comparable) together with the ground truth needed to score recovery.
+
+pub mod ammsb;
+pub mod chunglu;
+pub mod datasets;
+pub mod lfr;
+pub mod planted;
+
+use crate::VertexId;
+
+/// Ground-truth overlapping communities for a generated graph.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// `communities[k]` lists the member vertices of community `k`
+    /// (sorted, deduplicated).
+    pub communities: Vec<Vec<VertexId>>,
+}
+
+impl GroundTruth {
+    /// Number of communities.
+    pub fn num_communities(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// Membership list per vertex: `memberships(n)[v]` lists the community
+    /// indices of vertex `v` in a graph of `n` vertices.
+    pub fn memberships(&self, num_vertices: u32) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); num_vertices as usize];
+        for (k, members) in self.communities.iter().enumerate() {
+            for &v in members {
+                out[v.index()].push(k);
+            }
+        }
+        out
+    }
+
+    /// Mean number of communities per vertex (overlap factor).
+    pub fn mean_memberships(&self, num_vertices: u32) -> f64 {
+        if num_vertices == 0 {
+            return 0.0;
+        }
+        let total: usize = self.communities.iter().map(Vec::len).sum();
+        total as f64 / num_vertices as f64
+    }
+}
+
+/// A generated graph together with its ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedGraph {
+    /// The generated graph.
+    pub graph: crate::Graph,
+    /// The planted community structure.
+    pub ground_truth: GroundTruth,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memberships_invert_communities() {
+        let gt = GroundTruth {
+            communities: vec![
+                vec![VertexId(0), VertexId(1)],
+                vec![VertexId(1), VertexId(2)],
+            ],
+        };
+        let m = gt.memberships(4);
+        assert_eq!(m[0], vec![0]);
+        assert_eq!(m[1], vec![0, 1]);
+        assert_eq!(m[2], vec![1]);
+        assert!(m[3].is_empty());
+        assert_eq!(gt.num_communities(), 2);
+        assert!((gt.mean_memberships(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ground_truth() {
+        let gt = GroundTruth::default();
+        assert_eq!(gt.num_communities(), 0);
+        assert_eq!(gt.mean_memberships(0), 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Immutable CSR graph representation.
+
+use crate::{Edge, FxHashSet, VertexId};
+
+/// An immutable undirected graph in compressed-sparse-row form.
+///
+/// Neighbor lists are sorted, so `has_edge` is a binary search
+/// (`O(log deg)`) on the *smaller*-degree endpoint and iteration is a
+/// contiguous slice scan. This is the layout the paper keeps at the master
+/// (13.5 GB for com-Friendster's 1.8G directed edges); scaled-down graphs
+/// here use the same structure.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// CSR row offsets, length `N + 1`.
+    offsets: Vec<u64>,
+    /// Concatenated sorted neighbor lists, length `2 |E|`.
+    neighbors: Vec<u32>,
+    num_edges: u64,
+}
+
+impl Graph {
+    /// Build from a set of packed canonical edges (see [`Edge::pack`]).
+    ///
+    /// Intended to be called through
+    /// [`GraphBuilder::build`](crate::GraphBuilder::build), which guarantees
+    /// canonical packing, no self-loops and in-range endpoints.
+    pub(crate) fn from_packed_edges(num_vertices: u32, edges: FxHashSet<u64>) -> Self {
+        let n = num_vertices as usize;
+        let mut degree = vec![0u64; n];
+        for &key in &edges {
+            let e = Edge::unpack(key);
+            degree[e.lo().index()] += 1;
+            degree[e.hi().index()] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut neighbors = vec![0u32; offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        for &key in &edges {
+            let e = Edge::unpack(key);
+            let (a, b) = (e.lo(), e.hi());
+            neighbors[cursor[a.index()] as usize] = b.0;
+            cursor[a.index()] += 1;
+            neighbors[cursor[b.index()] as usize] = a.0;
+            cursor[b.index()] += 1;
+        }
+        for i in 0..n {
+            neighbors[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
+        }
+        Self {
+            offsets,
+            neighbors,
+            num_edges: edges.len() as u64,
+        }
+    }
+
+    /// Number of vertices `N`.
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Number of vertex pairs `|V| * (|V| - 1) / 2` — the size of the full
+    /// edge universe `E*` (linked and non-linked).
+    #[inline]
+    pub fn num_pairs(&self) -> u64 {
+        let n = self.num_vertices() as u64;
+        n * (n - 1) / 2
+    }
+
+    /// Degree of a vertex.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as u32
+    }
+
+    /// Sorted neighbor slice of a vertex.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[u32] {
+        &self.neighbors[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
+    }
+
+    /// Whether the undirected edge `(a, b)` exists. Self-queries return
+    /// `false`.
+    #[inline]
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        if a == b {
+            return false;
+        }
+        // Search in the shorter adjacency list.
+        let (probe, target) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.neighbors(probe).binary_search(&target.0).is_ok()
+    }
+
+    /// Iterate over every undirected edge exactly once (in `lo < hi` order).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_vertices()).flat_map(move |v| {
+            self.neighbors(VertexId(v))
+                .iter()
+                .filter(move |&&u| u > v)
+                .map(move |&u| Edge::new(VertexId(v), VertexId(u)))
+        })
+    }
+
+    /// Maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> u32 {
+        (0..self.num_vertices())
+            .map(|v| self.degree(VertexId(v)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean degree `2|E| / N`.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Approximate heap footprint in bytes (CSR arrays only).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.neighbors.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Extract the adjacency rows for a subset of vertices — the slice of
+    /// `E` the master scatters to workers alongside a mini-batch
+    /// (paper §III-A: workers never hold all of `E`).
+    pub fn adjacency_subset(&self, vertices: &[VertexId]) -> Vec<(VertexId, Vec<u32>)> {
+        vertices
+            .iter()
+            .map(|&v| (v, self.neighbors(v).to_vec()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use proptest::prelude::*;
+
+    fn triangle_plus_isolated() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edges([
+            (VertexId(0), VertexId(1)),
+            (VertexId(1), VertexId(2)),
+            (VertexId(0), VertexId(2)),
+        ])
+        .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle_plus_isolated();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_pairs(), 6);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.mean_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = triangle_plus_isolated();
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.degree(VertexId(3)), 0);
+        assert_eq!(g.neighbors(VertexId(1)), &[0, 2]);
+        assert_eq!(g.neighbors(VertexId(3)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn has_edge_and_self_query() {
+        let g = triangle_plus_isolated();
+        assert!(g.has_edge(VertexId(0), VertexId(2)));
+        assert!(g.has_edge(VertexId(2), VertexId(0)));
+        assert!(!g.has_edge(VertexId(0), VertexId(3)));
+        assert!(!g.has_edge(VertexId(1), VertexId(1)));
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = triangle_plus_isolated();
+        let edges: Vec<Edge> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        let set: std::collections::HashSet<u64> = edges.iter().map(|e| e.pack()).collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn adjacency_subset_matches_neighbors() {
+        let g = triangle_plus_isolated();
+        let sub = g.adjacency_subset(&[VertexId(1), VertexId(3)]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub[0], (VertexId(1), vec![0, 2]));
+        assert_eq!(sub[1], (VertexId(3), vec![]));
+    }
+
+    #[test]
+    fn memory_accounting_is_plausible() {
+        let g = triangle_plus_isolated();
+        // 5 offsets * 8 + 6 directed neighbors * 4.
+        assert_eq!(g.memory_bytes(), 5 * 8 + 6 * 4);
+    }
+
+    proptest! {
+        /// CSR invariants: degree sum = 2|E|, neighbor lists sorted & dedup'd,
+        /// has_edge agrees with the edge iterator.
+        #[test]
+        fn csr_invariants(
+            pairs in proptest::collection::vec((0u32..40, 0u32..40), 0..200)
+        ) {
+            let mut b = GraphBuilder::new(40);
+            for (x, y) in pairs {
+                if x != y {
+                    b.add_edge(VertexId(x), VertexId(y)).unwrap();
+                }
+            }
+            let g = b.build();
+            let degree_sum: u64 = (0..40).map(|v| g.degree(VertexId(v)) as u64).sum();
+            prop_assert_eq!(degree_sum, 2 * g.num_edges());
+            for v in 0..40 {
+                let ns = g.neighbors(VertexId(v));
+                prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted/dup neighbors");
+                for &u in ns {
+                    prop_assert!(g.has_edge(VertexId(v), VertexId(u)));
+                }
+            }
+            prop_assert_eq!(g.edges().count() as u64, g.num_edges());
+        }
+    }
+}

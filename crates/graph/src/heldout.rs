@@ -1,0 +1,204 @@
+//! Held-out set construction for perplexity evaluation.
+//!
+//! Following the paper (and Li, Ahn & Welling), the held-out set `E_h`
+//! contains an equal number of *linked* pairs (removed from the training
+//! graph) and *non-linked* pairs, so perplexity measures both link
+//! prediction and non-link prediction. `E_h` is statically partitioned
+//! across machines for the parallel perplexity phase.
+
+use crate::{Edge, FxHashSet, Graph, GraphBuilder, VertexId};
+use mmsb_rand::{Rng, RngCore};
+
+/// A held-out evaluation set: pairs with their true link observation.
+#[derive(Debug, Clone)]
+pub struct HeldOut {
+    pairs: Vec<(Edge, bool)>,
+    index: FxHashSet<u64>,
+}
+
+impl HeldOut {
+    /// Split `graph` into a training graph and a held-out set with
+    /// `num_links` linked pairs and `num_links` non-linked pairs.
+    ///
+    /// The returned training graph is `graph` minus the held-out links.
+    ///
+    /// # Panics
+    /// Panics if `num_links > |E|` or if the graph is too dense to supply
+    /// enough non-links (needs `num_links <= num_pairs - |E|`).
+    pub fn split<R: RngCore>(graph: &Graph, num_links: usize, rng: &mut R) -> (Graph, HeldOut) {
+        assert!(
+            (num_links as u64) <= graph.num_edges(),
+            "cannot hold out {num_links} links from a graph with {} edges",
+            graph.num_edges()
+        );
+        assert!(
+            (num_links as u64) <= graph.num_pairs() - graph.num_edges(),
+            "graph too dense to sample {num_links} held-out non-links"
+        );
+
+        let all_edges: Vec<Edge> = graph.edges().collect();
+        let link_idx = rng.sample_distinct(all_edges.len(), num_links);
+        let mut index = FxHashSet::default();
+        let mut removed_links = FxHashSet::default();
+        let mut pairs = Vec::with_capacity(num_links * 2);
+        for i in link_idx {
+            let e = all_edges[i];
+            index.insert(e.pack());
+            removed_links.insert(e.pack());
+            pairs.push((e, true));
+        }
+
+        let n = graph.num_vertices();
+        assert!(n >= 2, "need at least two vertices");
+        let mut non_links = 0usize;
+        while non_links < num_links {
+            let a = VertexId(rng.below(n as u64) as u32);
+            let b = VertexId(rng.below(n as u64) as u32);
+            if a == b {
+                continue;
+            }
+            let e = Edge::new(a, b);
+            if graph.has_edge(a, b) || !index.insert(e.pack()) {
+                continue;
+            }
+            pairs.push((e, false));
+            non_links += 1;
+        }
+
+        // Rebuild the training graph without the held-out links.
+        let mut builder = GraphBuilder::with_edge_capacity(n, all_edges.len() - num_links);
+        for e in &all_edges {
+            if !removed_links.contains(&e.pack()) {
+                builder
+                    .add_edge(e.lo(), e.hi())
+                    .expect("edge from valid graph");
+            }
+        }
+        (builder.build(), HeldOut { pairs, index })
+    }
+
+    /// All held-out pairs with their observations.
+    pub fn pairs(&self) -> &[(Edge, bool)] {
+        &self.pairs
+    }
+
+    /// Total number of held-out pairs (links + non-links).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Whether a pair is part of the held-out set (mini-batch samplers use
+    /// this to exclude evaluation pairs from training).
+    pub fn contains(&self, e: Edge) -> bool {
+        self.index.contains(&e.pack())
+    }
+
+    /// Contiguous partition of the pair list for rank `rank` of `ranks` —
+    /// the static partitioning the paper uses for the distributed
+    /// perplexity computation.
+    ///
+    /// # Panics
+    /// Panics if `rank >= ranks` or `ranks == 0`.
+    pub fn partition(&self, rank: usize, ranks: usize) -> &[(Edge, bool)] {
+        assert!(ranks > 0 && rank < ranks, "bad partition {rank}/{ranks}");
+        let per = self.pairs.len().div_ceil(ranks);
+        let lo = (rank * per).min(self.pairs.len());
+        let hi = ((rank + 1) * per).min(self.pairs.len());
+        &self.pairs[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::planted::{PlantedConfig, generate_planted};
+    use mmsb_rand::Xoshiro256PlusPlus;
+
+    fn test_graph() -> Graph {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        generate_planted(
+            &PlantedConfig {
+                num_vertices: 300,
+                num_communities: 6,
+                mean_community_size: 60.0,
+                memberships_per_vertex: 1.4,
+                internal_degree: 8.0,
+                background_degree: 1.0,
+            },
+            &mut rng,
+        )
+        .graph
+    }
+
+    #[test]
+    fn split_sizes_and_balance() {
+        let g = test_graph();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let (train, h) = HeldOut::split(&g, 50, &mut rng);
+        assert_eq!(h.len(), 100);
+        let links = h.pairs().iter().filter(|&&(_, y)| y).count();
+        assert_eq!(links, 50);
+        assert_eq!(train.num_edges(), g.num_edges() - 50);
+    }
+
+    #[test]
+    fn heldout_links_absent_from_training() {
+        let g = test_graph();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let (train, h) = HeldOut::split(&g, 40, &mut rng);
+        for &(e, y) in h.pairs() {
+            if y {
+                assert!(g.has_edge(e.lo(), e.hi()), "held-out link not in original");
+                assert!(!train.has_edge(e.lo(), e.hi()), "held-out link leaked into training");
+            } else {
+                assert!(!g.has_edge(e.lo(), e.hi()), "held-out non-link is an edge");
+            }
+        }
+    }
+
+    #[test]
+    fn contains_matches_pairs() {
+        let g = test_graph();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let (_, h) = HeldOut::split(&g, 30, &mut rng);
+        for &(e, _) in h.pairs() {
+            assert!(h.contains(e));
+        }
+        assert_eq!(h.pairs().len(), 60);
+    }
+
+    #[test]
+    fn partition_covers_everything_disjointly() {
+        let g = test_graph();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let (_, h) = HeldOut::split(&g, 33, &mut rng);
+        for ranks in [1, 2, 3, 7, 64, 200] {
+            let total: usize = (0..ranks).map(|r| h.partition(r, ranks).len()).sum();
+            assert_eq!(total, h.len(), "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold out")]
+    fn too_many_links_panics() {
+        let g = test_graph();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let want = g.num_edges() as usize + 1;
+        HeldOut::split(&g, want, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = test_graph();
+        let mut r1 = Xoshiro256PlusPlus::seed_from_u64(7);
+        let mut r2 = Xoshiro256PlusPlus::seed_from_u64(7);
+        let (_, h1) = HeldOut::split(&g, 20, &mut r1);
+        let (_, h2) = HeldOut::split(&g, 20, &mut r2);
+        assert_eq!(h1.pairs(), h2.pairs());
+    }
+}

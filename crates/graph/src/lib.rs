@@ -1,0 +1,132 @@
+//! Graph substrate for scalable overlapping community detection.
+//!
+//! This crate supplies everything the SG-MCMC sampler needs from the data
+//! side, mirroring the data layer of El-Helw et al. (IPDPS-W 2016):
+//!
+//! * [`Graph`] — a compact undirected graph: CSR adjacency with sorted
+//!   neighbor lists (`O(log deg)` membership tests, zero per-vertex
+//!   allocation),
+//! * [`GraphBuilder`] — deduplicating, self-loop-rejecting construction,
+//! * [`io`] — the SNAP edge-list text format (comments, arbitrary ids),
+//! * [`heldout`] — train/held-out split with matched link/non-link pairs,
+//!   exactly the perplexity test set of the paper,
+//! * [`minibatch`] — the stratified random-node sampling strategy of
+//!   Li, Ahn & Welling plus plain uniform pair sampling,
+//! * [`neighbor`] — per-vertex neighbor-set sampling (`V_n`),
+//! * [`generate`] — synthetic graphs with planted overlapping communities
+//!   (the stand-ins for the SNAP datasets; see DESIGN.md §3),
+//! * [`stats`] — summary statistics backing Table II.
+//!
+//! # Example
+//!
+//! ```
+//! use mmsb_graph::{GraphBuilder, VertexId};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(VertexId(0), VertexId(1)).unwrap();
+//! b.add_edge(VertexId(1), VertexId(2)).unwrap();
+//! let g = b.build();
+//! assert_eq!(g.num_vertices(), 4);
+//! assert_eq!(g.num_edges(), 2);
+//! assert!(g.has_edge(VertexId(0), VertexId(1)));
+//! assert!(!g.has_edge(VertexId(0), VertexId(2)));
+//! ```
+
+pub mod generate;
+pub mod heldout;
+pub mod io;
+pub mod minibatch;
+pub mod neighbor;
+pub mod stats;
+
+mod builder;
+mod graph;
+mod hasher;
+mod types;
+
+pub use builder::GraphBuilder;
+pub use graph::Graph;
+pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use types::{Edge, VertexId};
+
+/// Errors produced while constructing or loading graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge endpoint is `>= num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The number of vertices in the graph.
+        num_vertices: u32,
+    },
+    /// Self-loops are not representable in the a-MMSB model.
+    SelfLoop {
+        /// The vertex that would loop to itself.
+        vertex: u32,
+    },
+    /// A parse failure in an input file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(f, "vertex {vertex} out of range (N = {num_vertices})"),
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_mentions_details() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 5,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('5'));
+
+        let e = GraphError::SelfLoop { vertex: 3 };
+        assert!(e.to_string().contains('3'));
+
+        let e = GraphError::Parse {
+            line: 17,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("bad token"));
+    }
+}

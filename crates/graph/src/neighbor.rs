@@ -1,0 +1,196 @@
+//! Neighbor-set sampling (`V_n`) for the local `phi` update.
+//!
+//! For each mini-batch vertex `a`, Algorithm 1 line 5 draws a random set of
+//! `n` vertices from `V`. The estimator in Eq. 5 then scales their summed
+//! gradient by `N / |V_n|`. Held-out pairs must be excluded so that the
+//! evaluation set never influences training.
+
+use crate::{heldout::HeldOut, Edge, VertexId};
+use mmsb_rand::{Rng, RngCore};
+
+/// Sampler for per-vertex neighbor sets.
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborSampler {
+    /// Number of vertices `N` in the graph.
+    num_vertices: u32,
+    /// Target sample size `n = |V_n|`.
+    sample_size: usize,
+}
+
+impl NeighborSampler {
+    /// Create a sampler over a graph of `num_vertices` vertices drawing
+    /// `sample_size` neighbors per call.
+    ///
+    /// # Panics
+    /// Panics if `sample_size >= num_vertices` (the sample excludes the
+    /// center vertex, so at most `N - 1` candidates exist).
+    pub fn new(num_vertices: u32, sample_size: usize) -> Self {
+        assert!(
+            sample_size < num_vertices as usize,
+            "neighbor sample size {sample_size} must be < N = {num_vertices}"
+        );
+        Self {
+            num_vertices,
+            sample_size,
+        }
+    }
+
+    /// The configured `|V_n|`.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// Sample a neighbor set for `center`: distinct vertices, excluding
+    /// `center` itself and any pair present in `heldout`.
+    ///
+    /// When the exclusions leave fewer than `sample_size` candidates
+    /// (possible for near-exhaustive samples on small graphs), the full
+    /// remaining candidate set is returned instead — callers scale the
+    /// gradient by the *actual* `|V_n|`, so a short set stays unbiased.
+    pub fn sample<R: RngCore>(
+        &self,
+        center: VertexId,
+        heldout: Option<&HeldOut>,
+        rng: &mut R,
+    ) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(self.sample_size);
+        let mut seen = crate::FxHashSet::default();
+        seen.reserve(self.sample_size * 2);
+        // Rejection sampling: for the sparse regimes we care about
+        // (n << N), collisions are rare and this is O(n) expected. The
+        // attempt budget guards the dense regime, where exclusions can
+        // make the target unreachable.
+        let max_attempts = (self.sample_size as u64 + 8) * 16;
+        let mut attempts = 0u64;
+        while out.len() < self.sample_size && attempts < max_attempts {
+            attempts += 1;
+            let b = VertexId(rng.below(self.num_vertices as u64) as u32);
+            if b == center || !seen.insert(b.0) {
+                continue;
+            }
+            if let Some(h) = heldout {
+                if h.contains(Edge::new(center, b)) {
+                    continue;
+                }
+            }
+            out.push(b);
+        }
+        if out.len() < self.sample_size {
+            // Dense fallback: enumerate what is actually available.
+            for v in 0..self.num_vertices {
+                if out.len() == self.sample_size {
+                    break;
+                }
+                let b = VertexId(v);
+                if b == center || seen.contains(&v) {
+                    continue;
+                }
+                if heldout.is_some_and(|h| h.contains(Edge::new(center, b))) {
+                    continue;
+                }
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Sample neighbor sets for a whole mini-batch of vertices.
+    pub fn sample_many<R: RngCore>(
+        &self,
+        centers: &[VertexId],
+        heldout: Option<&HeldOut>,
+        rng: &mut R,
+    ) -> Vec<Vec<VertexId>> {
+        centers
+            .iter()
+            .map(|&c| self.sample(c, heldout, rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::planted::{generate_planted, PlantedConfig};
+    use crate::heldout::HeldOut;
+    use mmsb_rand::Xoshiro256PlusPlus;
+
+    #[test]
+    fn sample_has_right_size_and_no_center() {
+        let s = NeighborSampler::new(100, 10);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for v in 0..20 {
+            let ns = s.sample(VertexId(v), None, &mut rng);
+            assert_eq!(ns.len(), 10);
+            assert!(!ns.contains(&VertexId(v)));
+            let set: std::collections::HashSet<_> = ns.iter().collect();
+            assert_eq!(set.len(), 10, "duplicates in neighbor set");
+        }
+    }
+
+    #[test]
+    fn excludes_heldout_pairs() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let g = generate_planted(
+            &PlantedConfig {
+                num_vertices: 60,
+                num_communities: 3,
+                mean_community_size: 25.0,
+                memberships_per_vertex: 1.2,
+                internal_degree: 10.0,
+                background_degree: 2.0,
+            },
+            &mut rng,
+        )
+        .graph;
+        let (_, heldout) = HeldOut::split(&g, 40, &mut rng);
+        let s = NeighborSampler::new(60, 30);
+        for v in 0..60 {
+            let ns = s.sample(VertexId(v), Some(&heldout), &mut rng);
+            for b in ns {
+                assert!(
+                    !heldout.contains(Edge::new(VertexId(v), b)),
+                    "sampled held-out pair ({v}, {})",
+                    b.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearly_exhaustive_sample_still_terminates() {
+        let s = NeighborSampler::new(10, 9);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let ns = s.sample(VertexId(0), None, &mut rng);
+        let mut ids: Vec<u32> = ns.iter().map(|v| v.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be < N")]
+    fn oversize_sample_panics() {
+        NeighborSampler::new(10, 10);
+    }
+
+    #[test]
+    fn sample_many_matches_centers() {
+        let s = NeighborSampler::new(50, 5);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let centers = vec![VertexId(1), VertexId(2), VertexId(3)];
+        let all = s.sample_many(&centers, None, &mut rng);
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|ns| ns.len() == 5));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = NeighborSampler::new(1000, 32);
+        let mut r1 = Xoshiro256PlusPlus::seed_from_u64(9);
+        let mut r2 = Xoshiro256PlusPlus::seed_from_u64(9);
+        assert_eq!(
+            s.sample(VertexId(5), None, &mut r1),
+            s.sample(VertexId(5), None, &mut r2)
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Fundamental identifier types.
+
+/// A vertex identifier: a dense index in `[0, N)`.
+///
+/// Stored as `u32` — the paper's largest graph (com-Friendster) has 65.6M
+/// vertices, far below `u32::MAX`, and halving index width halves the
+/// memory traffic of adjacency scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The index as `usize` for slice addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<VertexId> for u32 {
+    #[inline]
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+impl std::fmt::Display for VertexId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An undirected edge in canonical (min, max) order.
+///
+/// Canonicalization makes `Edge` usable directly as a set/map key: `(a, b)`
+/// and `(b, a)` compare and hash identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    a: VertexId,
+    b: VertexId,
+}
+
+impl Edge {
+    /// Create a canonical edge. Endpoint order does not matter.
+    ///
+    /// # Panics
+    /// Panics on a self-loop; the a-MMSB model has no `y_aa` variables.
+    #[inline]
+    pub fn new(x: VertexId, y: VertexId) -> Self {
+        assert_ne!(x, y, "self-loop edge ({x}, {y})");
+        if x.0 <= y.0 {
+            Edge { a: x, b: y }
+        } else {
+            Edge { a: y, b: x }
+        }
+    }
+
+    /// The smaller endpoint.
+    #[inline]
+    pub fn lo(self) -> VertexId {
+        self.a
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub fn hi(self) -> VertexId {
+        self.b
+    }
+
+    /// Both endpoints as a `(lo, hi)` tuple.
+    #[inline]
+    pub fn endpoints(self) -> (VertexId, VertexId) {
+        (self.a, self.b)
+    }
+
+    /// Pack into a single `u64` key (`lo << 32 | hi`), the representation
+    /// used for hash sets of edges.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        ((self.a.0 as u64) << 32) | self.b.0 as u64
+    }
+
+    /// Inverse of [`Edge::pack`].
+    #[inline]
+    pub fn unpack(key: u64) -> Self {
+        Edge {
+            a: VertexId((key >> 32) as u32),
+            b: VertexId(key as u32),
+        }
+    }
+
+    /// Given one endpoint, return the other.
+    ///
+    /// # Panics
+    /// Panics if `v` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(self, v: VertexId) -> VertexId {
+        if v == self.a {
+            self.b
+        } else if v == self.b {
+            self.a
+        } else {
+            panic!("{v} is not an endpoint of ({}, {})", self.a, self.b)
+        }
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn vertex_roundtrip() {
+        let v = VertexId::from(42u32);
+        assert_eq!(v.index(), 42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(v.to_string(), "v42");
+    }
+
+    #[test]
+    fn edge_is_canonical() {
+        let e1 = Edge::new(VertexId(5), VertexId(2));
+        let e2 = Edge::new(VertexId(2), VertexId(5));
+        assert_eq!(e1, e2);
+        assert_eq!(e1.lo(), VertexId(2));
+        assert_eq!(e1.hi(), VertexId(5));
+        assert_eq!(e1.endpoints(), (VertexId(2), VertexId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        Edge::new(VertexId(1), VertexId(1));
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let e = Edge::new(VertexId(1), VertexId(9));
+        assert_eq!(e.other(VertexId(1)), VertexId(9));
+        assert_eq!(e.other(VertexId(9)), VertexId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_wrong_vertex_panics() {
+        Edge::new(VertexId(1), VertexId(9)).other(VertexId(3));
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_roundtrip(a in 0u32..1_000_000, b in 0u32..1_000_000) {
+            prop_assume!(a != b);
+            let e = Edge::new(VertexId(a), VertexId(b));
+            prop_assert_eq!(Edge::unpack(e.pack()), e);
+        }
+
+        #[test]
+        fn pack_is_order_insensitive(a in 0u32..1_000_000, b in 0u32..1_000_000) {
+            prop_assume!(a != b);
+            let e1 = Edge::new(VertexId(a), VertexId(b));
+            let e2 = Edge::new(VertexId(b), VertexId(a));
+            prop_assert_eq!(e1.pack(), e2.pack());
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! `mmsb` — command-line interface to the workspace.
+//!
+//! ```text
+//! mmsb datasets                                   # list the Table II stand-ins
+//! mmsb generate --dataset syn-dblp --out g.txt    # write a SNAP edge list
+//! mmsb generate --vertices 2000 --communities 16 --out g.txt
+//! mmsb train --input g.txt --k 16 --iters 2000 --out communities.txt
+//! mmsb train --dataset syn-youtube --driver parallel --eval-every 200
+//! mmsb simulate --workers 16 --k 64 --iters 50 --pipeline off
+//! ```
+
+use mmsb::graph::io;
+use mmsb::graph::stats::summarize;
+use mmsb::prelude::*;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+/// Minimal `--flag value` parser: positional subcommand + flag map.
+struct Args {
+    command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut argv = argv.peekable();
+        let command = argv.next().ok_or_else(usage)?;
+        let mut flags = HashMap::new();
+        while let Some(arg) = argv.next() {
+            let name = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {arg:?}"))?;
+            let value = match argv.peek() {
+                Some(v) if !v.starts_with("--") => argv.next().expect("peeked"),
+                _ => "true".to_string(), // boolean flag
+            };
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(format!("duplicate flag --{name}"));
+            }
+        }
+        Ok(Self { command, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a {}", std::any::type_name::<T>())),
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: mmsb <datasets|generate|train|simulate> [--flags]\n\
+     run `mmsb <command> --help` for the command's flags"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "datasets" => cmd_datasets(),
+        "generate" => cmd_generate(&args),
+        "train" => cmd_train(&args),
+        "simulate" => cmd_simulate(&args),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_datasets() -> Result<(), String> {
+    println!(
+        "{:<18} {:>14} {:>14} {:>12}   {}",
+        "stand-in", "orig vertices", "orig edges", "divisor", "description"
+    );
+    for s in standins() {
+        println!(
+            "{:<18} {:>14} {:>14} {:>12}   {}",
+            s.name, s.original_vertices, s.original_edges, s.scale_divisor, s.description
+        );
+    }
+    Ok(())
+}
+
+fn generated_from_args(args: &Args) -> Result<GeneratedGraph, String> {
+    if let Some(name) = args.get("dataset") {
+        let spec = by_name(name).ok_or_else(|| {
+            format!(
+                "unknown dataset {name:?}; known: {}",
+                standins()
+                    .iter()
+                    .map(|s| s.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
+        return Ok(spec.generate());
+    }
+    let vertices: u32 = args.parsed("vertices", 1000)?;
+    let communities: usize = args.parsed("communities", 16)?;
+    let mean_degree: f64 = args.parsed("mean-degree", 12.0)?;
+    let overlap: f64 = args.parsed("overlap", 1.2)?;
+    let seed: u64 = args.parsed("seed", 42)?;
+    let config = PlantedConfig {
+        num_vertices: vertices,
+        num_communities: communities,
+        mean_community_size: (vertices as f64 * overlap / communities as f64).max(4.0),
+        memberships_per_vertex: overlap,
+        internal_degree: 0.8 * mean_degree / overlap,
+        background_degree: 0.2 * mean_degree,
+    };
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    Ok(generate_planted(&config, &mut rng))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    if args.get("help").is_some() {
+        println!(
+            "mmsb generate [--dataset NAME | --vertices N --communities K \
+             --mean-degree D --overlap O --seed S] --out FILE [--truth FILE]"
+        );
+        return Ok(());
+    }
+    let out = args.get("out").ok_or("generate needs --out FILE")?;
+    let generated = generated_from_args(args)?;
+    io::save_edge_list(&generated.graph, out).map_err(|e| e.to_string())?;
+    println!("{}", summarize(out, &generated.graph));
+    if let Some(truth_path) = args.get("truth") {
+        let mut f = std::fs::File::create(truth_path).map_err(|e| e.to_string())?;
+        for members in &generated.ground_truth.communities {
+            let line: Vec<String> = members.iter().map(|v| v.0.to_string()).collect();
+            writeln!(f, "{}", line.join(" ")).map_err(|e| e.to_string())?;
+        }
+        println!(
+            "wrote {} ground-truth communities to {truth_path}",
+            generated.ground_truth.num_communities()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    if args.get("help").is_some() {
+        println!(
+            "mmsb train [--input FILE | --dataset NAME | generator flags] \
+             [--k K] [--iters N] [--driver sequential|parallel|threaded] \
+             [--workers R] [--eval-every N] [--heldout L] [--seed S] \
+             [--threshold T] [--out FILE]"
+        );
+        return Ok(());
+    }
+    let (graph, truth) = if let Some(path) = args.get("input") {
+        let loaded = io::load_edge_list(path).map_err(|e| e.to_string())?;
+        (loaded.graph, None)
+    } else {
+        let generated = generated_from_args(args)?;
+        (generated.graph, Some(generated.ground_truth))
+    };
+    let k: usize = args.parsed("k", 16)?;
+    let iters: u64 = args.parsed("iters", 2000)?;
+    let eval_every: u64 = args.parsed("eval-every", 250)?;
+    let seed: u64 = args.parsed("seed", 42)?;
+    let heldout_links: usize =
+        args.parsed("heldout", ((graph.num_edges() / 50).max(16)) as usize)?;
+    let threshold: f32 = args.parsed("threshold", (0.5 / k as f64) as f32)?;
+    let driver = args.get("driver").unwrap_or("parallel");
+    let workers: usize = args.parsed("workers", 4)?;
+
+    let num_vertices = graph.num_vertices();
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed ^ 0x5EED);
+    let (train, heldout) = HeldOut::split(&graph, heldout_links, &mut rng);
+    let config = SamplerConfig::new(k).with_seed(seed);
+    println!(
+        "training on {} vertices / {} edges, K = {k}, {iters} iterations, driver = {driver}",
+        train.num_vertices(),
+        train.num_edges()
+    );
+
+    // Train with the chosen driver; collect the final state plus the
+    // perplexity trace printed along the way.
+    let state: ModelState = match driver {
+        "sequential" | "parallel" => {
+            enum Either {
+                Seq(Box<SequentialSampler>),
+                Par(Box<ParallelSampler>),
+            }
+            let mut s = if driver == "sequential" {
+                Either::Seq(Box::new(
+                    SequentialSampler::new(train, heldout, config).map_err(|e| e.to_string())?,
+                ))
+            } else {
+                Either::Par(Box::new(
+                    ParallelSampler::new(train, heldout, config).map_err(|e| e.to_string())?,
+                ))
+            };
+            let mut done = 0u64;
+            while done < iters {
+                let step = eval_every.min(iters - done).max(1);
+                let perplexity = match &mut s {
+                    Either::Seq(x) => {
+                        x.run(step);
+                        x.evaluate_perplexity()
+                    }
+                    Either::Par(x) => {
+                        x.run(step);
+                        x.evaluate_perplexity()
+                    }
+                };
+                done += step;
+                println!("iter {done:>7}  perplexity {perplexity:.4}");
+            }
+            match s {
+                Either::Seq(x) => x.state().clone(),
+                Either::Par(x) => x.state().clone(),
+            }
+        }
+        "threaded" => {
+            let outcome = train_threaded(train, heldout, config, workers, iters, eval_every)
+                .map_err(|e| e.to_string())?;
+            for (it, perplexity) in &outcome.perplexity_trace {
+                println!("iter {it:>7}  perplexity {perplexity:.4}");
+            }
+            outcome.state
+        }
+        other => {
+            return Err(format!(
+                "unknown driver {other:?} (sequential, parallel, threaded)"
+            ))
+        }
+    };
+
+    let communities = Communities::from_state(&state, threshold);
+    println!(
+        "detected {} non-empty communities (threshold {threshold})",
+        communities.num_nonempty()
+    );
+    if let Some(truth) = truth {
+        let f1 = eval::best_match_f1(&communities.members, &truth);
+        let nmi = eval::overlapping_nmi(&communities.members, &truth, num_vertices);
+        println!("recovery vs planted truth: F1 {f1:.3}, overlapping NMI {nmi:.3}");
+    }
+    if let Some(out) = args.get("out") {
+        let mut f = std::fs::File::create(out).map_err(|e| e.to_string())?;
+        writeln!(f, "# community_id\tmembers").map_err(|e| e.to_string())?;
+        for (c, members) in communities.members.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let line: Vec<String> = members.iter().map(|v| v.0.to_string()).collect();
+            writeln!(f, "{c}\t{}", line.join(" ")).map_err(|e| e.to_string())?;
+        }
+        println!("communities written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    if args.get("help").is_some() {
+        println!(
+            "mmsb simulate [--workers R] [--k K] [--iters N] [--pipeline on|off] \
+             [generator flags]"
+        );
+        return Ok(());
+    }
+    let workers: usize = args.parsed("workers", 16)?;
+    let k: usize = args.parsed("k", 32)?;
+    let iters: u64 = args.parsed("iters", 50)?;
+    let seed: u64 = args.parsed("seed", 42)?;
+    let pipeline = match args.get("pipeline").unwrap_or("on") {
+        "on" | "true" => PipelineMode::Double,
+        "off" | "false" => PipelineMode::Single,
+        other => return Err(format!("--pipeline expects on/off, got {other:?}")),
+    };
+    let generated = generated_from_args(args)?;
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed ^ 0x5EED);
+    let links = (generated.graph.num_edges() / 50).max(16) as usize;
+    let (train, heldout) = HeldOut::split(&generated.graph, links, &mut rng);
+    let config = SamplerConfig::new(k).with_seed(seed);
+    let dcfg = DistributedConfig::das5(workers).with_pipeline(pipeline);
+    let mut sampler =
+        DistributedSampler::new(train, heldout, config, dcfg).map_err(|e| e.to_string())?;
+    sampler.run(iters);
+    let perplexity = sampler.evaluate_perplexity();
+    println!(
+        "simulated {workers}-worker cluster, {iters} iterations, pipeline {:?}:\n",
+        pipeline
+    );
+    print!("{}", sampler.report());
+    println!("\nvirtual time: {:.4} s", sampler.virtual_time());
+    println!("held-out perplexity: {perplexity:.4}");
+    Ok(())
+}

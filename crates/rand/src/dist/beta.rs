@@ -1,0 +1,102 @@
+//! Beta distribution, sampled as a ratio of Gammas.
+
+use super::{DistError, Gamma, Sample};
+use crate::RngCore;
+
+/// Beta distribution `Beta(a, b)` on `(0, 1)`.
+///
+/// Used for the community-strength prior `beta_k ~ Beta(eta)` in the a-MMSB
+/// generative model. Sampled as `X/(X+Y)` with `X~Gamma(a,1)`, `Y~Gamma(b,1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    ga: Gamma,
+    gb: Gamma,
+}
+
+impl Beta {
+    /// Construct with shape parameters `a > 0`, `b > 0`.
+    pub fn new(a: f64, b: f64) -> Result<Self, DistError> {
+        Ok(Self {
+            ga: Gamma::new(a, 1.0)?,
+            gb: Gamma::new(b, 1.0)?,
+        })
+    }
+
+    /// Symmetric Beta with both shapes equal to `eta` — the paper's
+    /// `Beta(eta)` prior.
+    pub fn symmetric(eta: f64) -> Result<Self, DistError> {
+        Self::new(eta, eta)
+    }
+
+    /// First shape parameter.
+    pub fn a(&self) -> f64 {
+        self.ga.alpha()
+    }
+
+    /// Second shape parameter.
+    pub fn b(&self) -> f64 {
+        self.gb.alpha()
+    }
+}
+
+impl Sample for Beta {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let x = self.ga.sample(rng);
+            let y = self.gb.sample(rng);
+            let s = x + y;
+            if s > 0.0 {
+                return x / s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{moments, rng};
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, -1.0).is_err());
+        assert!(Beta::symmetric(0.0).is_err());
+    }
+
+    #[test]
+    fn samples_in_open_unit_interval() {
+        let mut r = rng();
+        for (a, b) in [(0.5, 0.5), (1.0, 1.0), (2.0, 5.0), (10.0, 1.0)] {
+            let d = Beta::new(a, b).unwrap();
+            for _ in 0..2000 {
+                let x = d.sample(&mut r);
+                assert!(x > 0.0 && x < 1.0, "a={a} b={b} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn moments_match() {
+        let mut r = rng();
+        for (a, b) in [(2.0, 5.0), (1.0, 1.0), (0.5, 0.5)] {
+            let d = Beta::new(a, b).unwrap();
+            let xs = d.sample_n(&mut r, 200_000);
+            let (mean, var) = moments(&xs);
+            let em = a / (a + b);
+            let ev = a * b / ((a + b) * (a + b) * (a + b + 1.0));
+            assert!((mean - em).abs() < 0.005, "a={a} b={b} mean={mean}");
+            assert!((var - ev).abs() < 0.005, "a={a} b={b} var={var}");
+        }
+    }
+
+    #[test]
+    fn uniform_special_case() {
+        // Beta(1,1) is Uniform(0,1).
+        let mut r = rng();
+        let d = Beta::new(1.0, 1.0).unwrap();
+        let below_half = (0..100_000).filter(|_| d.sample(&mut r) < 0.5).count();
+        assert!((48_500..51_500).contains(&below_half), "{below_half}");
+    }
+}

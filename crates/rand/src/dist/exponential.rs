@@ -1,0 +1,74 @@
+//! Exponential distribution via inverse-CDF sampling.
+
+use super::{check_positive, DistError, Sample};
+use crate::{Rng, RngCore};
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// Used by the network simulator to draw message-service jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Construct with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, DistError> {
+        check_positive("lambda", lambda)?;
+        Ok(Self { lambda })
+    }
+
+    /// Rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Sample for Exponential {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -rng.next_f64_open().ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{moments, rng};
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-2.0).is_err());
+    }
+
+    #[test]
+    fn positive_and_finite() {
+        let mut r = rng();
+        let d = Exponential::new(3.0).unwrap();
+        for _ in 0..10_000 {
+            let x = d.sample(&mut r);
+            assert!(x > 0.0 && x.is_finite());
+        }
+    }
+
+    #[test]
+    fn moments_match() {
+        let mut r = rng();
+        let d = Exponential::new(2.0).unwrap();
+        let xs = d.sample_n(&mut r, 200_000);
+        let (mean, var) = moments(&xs);
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+        assert!((var - 0.25).abs() < 0.01, "var={var}");
+    }
+
+    #[test]
+    fn memoryless_median() {
+        let mut r = rng();
+        let d = Exponential::new(1.0).unwrap();
+        let below = (0..100_000)
+            .filter(|_| d.sample(&mut r) < std::f64::consts::LN_2)
+            .count();
+        assert!((48_500..51_500).contains(&below), "below={below}");
+    }
+}

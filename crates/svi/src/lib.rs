@@ -1,0 +1,31 @@
+//! Stochastic variational inference (SVI) baseline for a-MMSB.
+//!
+//! The paper builds on the result (Li, Ahn & Welling) that SG-MCMC is
+//! faster and more accurate than stochastic variational Bayes on a-MMSB.
+//! This crate supplies that comparison point: a mean-field SVI sampler in
+//! the style of Gopalan et al. (NIPS 2012), with
+//!
+//! * `q(pi_a) = Dirichlet(gamma_a)`, `q(beta_k) = Beta(lambda_k0,
+//!   lambda_k1)`,
+//! * per-pair local step: a categorical posterior over "both endpoints in
+//!   community k" (plus an aggregate "different communities" cell), using
+//!   digamma expectations,
+//! * natural-gradient global step with the Robbins–Monro rate
+//!   `rho_t = (tau + t)^(-kappa)`.
+//!
+//! The public API mirrors `mmsb-core`'s samplers so benches can swap them.
+
+mod digamma;
+mod sampler;
+
+pub use digamma::digamma;
+pub use sampler::{SviConfig, SviSampler};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn api_surface() {
+        let cfg = crate::SviConfig::new(4);
+        assert_eq!(cfg.k, 4);
+    }
+}

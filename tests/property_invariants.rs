@@ -1,0 +1,181 @@
+//! Cross-crate property tests: invariants that must hold for *arbitrary*
+//! valid inputs, not just the unit-test fixtures.
+
+use mmsb::netsim::collective;
+use mmsb::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The sampler state stays on the simplex for any small-but-valid
+    /// configuration and any seed.
+    #[test]
+    fn sampler_state_stays_on_simplex(
+        seed in 0u64..1000,
+        k in 2usize..6,
+        iters in 1u64..12,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let generated = generate_planted(&PlantedConfig {
+            num_vertices: 80,
+            num_communities: k,
+            mean_community_size: 80.0 / k as f64,
+            memberships_per_vertex: 1.0,
+            internal_degree: 6.0,
+            background_degree: 1.0,
+        }, &mut rng);
+        let (train, heldout) = HeldOut::split(&generated.graph, 15, &mut rng);
+        let cfg = SamplerConfig::new(k).with_seed(seed).with_minibatch(
+            Strategy::StratifiedNode { partitions: 4, anchors: 2 },
+        ).with_neighbor_sample(8);
+        let mut s = SequentialSampler::new(train, heldout, cfg).unwrap();
+        s.run(iters);
+        for a in 0..s.state().n() {
+            let row = s.state().pi_row(a);
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-3, "vertex {a} sum {sum}");
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        for &b in s.state().beta() {
+            prop_assert!(b > 0.0 && b < 1.0, "beta {b}");
+        }
+        let perp = s.evaluate_perplexity();
+        prop_assert!(perp.is_finite() && perp >= 1.0);
+    }
+
+    /// Mini-batch weights always align with pairs and are positive, for
+    /// both strategies and any seed.
+    #[test]
+    fn minibatch_weights_align(
+        seed in 0u64..500,
+        anchors in 1usize..6,
+        partitions in 1usize..8,
+        pair_size in 1usize..64,
+        stratified in proptest::bool::ANY,
+    ) {
+        use mmsb::graph::minibatch::MinibatchSampler;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let generated = generate_planted(&PlantedConfig {
+            num_vertices: 60,
+            num_communities: 3,
+            mean_community_size: 20.0,
+            memberships_per_vertex: 1.0,
+            internal_degree: 5.0,
+            background_degree: 1.0,
+        }, &mut rng);
+        let strategy = if stratified {
+            Strategy::StratifiedNode { partitions, anchors }
+        } else {
+            Strategy::RandomPair { size: pair_size }
+        };
+        let mb = MinibatchSampler::new(strategy).sample(&generated.graph, None, &mut rng);
+        prop_assert_eq!(mb.pairs.len(), mb.weights.len());
+        prop_assert!(mb.weights.iter().all(|&w| w > 0.0));
+        // Every pair's observation matches the graph.
+        for &(e, y) in &mb.pairs {
+            prop_assert_eq!(y, generated.graph.has_edge(e.lo(), e.hi()));
+        }
+    }
+
+    /// Collective cost models: non-negative, and non-decreasing in both
+    /// rank count (at fixed depth steps) and payload.
+    #[test]
+    fn collective_costs_are_monotone(
+        ranks in 1usize..200,
+        bytes in 0usize..(1 << 22),
+    ) {
+        let net = NetworkModel::fdr_infiniband();
+        for f in [collective::barrier] {
+            prop_assert!(f(&net, ranks) >= 0.0);
+            prop_assert!(f(&net, 2 * ranks) >= f(&net, ranks));
+        }
+        prop_assert!(collective::broadcast(&net, ranks, 2 * bytes)
+            >= collective::broadcast(&net, ranks, bytes));
+        prop_assert!(collective::reduce(&net, 2 * ranks, bytes)
+            >= collective::reduce(&net, ranks, bytes));
+        prop_assert!(collective::scatter(&net, ranks + 1, bytes)
+            >= collective::scatter(&net, ranks, bytes));
+        prop_assert!(collective::allreduce(&net, ranks, bytes)
+            >= collective::reduce(&net, ranks, bytes));
+    }
+
+    /// Degree histogram always sums to N and respects bucket boundaries.
+    #[test]
+    fn degree_histogram_sums_to_n(seed in 0u64..500) {
+        use mmsb::graph::stats::degree_histogram;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let generated = generate_planted(&PlantedConfig {
+            num_vertices: 120,
+            num_communities: 4,
+            mean_community_size: 30.0,
+            memberships_per_vertex: 1.0,
+            internal_degree: 4.0,
+            background_degree: 1.0,
+        }, &mut rng);
+        let h = degree_histogram(&generated.graph);
+        prop_assert_eq!(h.iter().sum::<u64>(), 120);
+    }
+
+    /// Held-out splits never lose or duplicate edges: train edges +
+    /// held-out links partition the original edge set.
+    #[test]
+    fn heldout_split_partitions_edges(seed in 0u64..300, links in 1usize..40) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let generated = generate_planted(&PlantedConfig {
+            num_vertices: 100,
+            num_communities: 4,
+            mean_community_size: 25.0,
+            memberships_per_vertex: 1.0,
+            internal_degree: 6.0,
+            background_degree: 1.0,
+        }, &mut rng);
+        let graph = generated.graph;
+        prop_assume!((links as u64) <= graph.num_edges());
+        let (train, heldout) = HeldOut::split(&graph, links, &mut rng);
+        let held_links = heldout.pairs().iter().filter(|&&(_, y)| y).count() as u64;
+        prop_assert_eq!(train.num_edges() + held_links, graph.num_edges());
+        // Every training edge exists in the original.
+        for e in train.edges() {
+            prop_assert!(graph.has_edge(e.lo(), e.hi()));
+        }
+    }
+
+    /// The step-size schedule is strictly decreasing and positive.
+    #[test]
+    fn step_size_schedule_monotone(
+        a in 1e-4f64..1.0,
+        b in 1.0f64..10_000.0,
+        c in 0.51f64..1.0,
+        t in 0u64..100_000,
+    ) {
+        let s = StepSize { a, b, c };
+        prop_assert!(s.at(t) > 0.0);
+        prop_assert!(s.at(t + 1) < s.at(t));
+        prop_assert!(s.at(0) <= a + 1e-15);
+    }
+
+    /// Perplexity accumulator: averaging over posterior samples never
+    /// produces a value outside the per-sample extremes' range.
+    #[test]
+    fn perplexity_average_is_bounded_by_extremes(
+        probs1 in proptest::collection::vec(0.01f64..1.0, 5),
+        probs2 in proptest::collection::vec(0.01f64..1.0, 5),
+    ) {
+        let perp_of = |probs: &[f64]| -> f64 {
+            let mut acc = PerplexityAccumulator::new(probs.len());
+            acc.record(probs);
+            acc.value().unwrap()
+        };
+        let p1 = perp_of(&probs1);
+        let p2 = perp_of(&probs2);
+        let mut acc = PerplexityAccumulator::new(5);
+        acc.record(&probs1);
+        acc.record(&probs2);
+        let both = acc.value().unwrap();
+        // Averaging probabilities before the log (Eq. 7) is at least as
+        // optimistic as the worse sample and can beat both (Jensen), but
+        // never exceeds the worse one.
+        prop_assert!(both <= p1.max(p2) + 1e-12, "both={both} p1={p1} p2={p2}");
+    }
+}
