@@ -1,14 +1,13 @@
-//! Criterion benches for the DKV store: the software path whose overhead
-//! shapes the small-payload region of Figure 5.
+//! Benches for the DKV store: the software path whose overhead shapes
+//! the small-payload region of Figure 5. Runs on the in-tree timing
+//! harness (`mmsb_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mmsb::dkv::pipeline::{schedule, ChunkedReader};
 use mmsb::dkv::{DkvStore, LocalStore, Partition, ShardedStore};
 use mmsb::prelude::*;
-use std::hint::black_box;
+use mmsb_bench::timing::{black_box, Suite};
 
-fn bench_read_batch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dkv_read_batch");
+fn bench_read_batch(suite: &mut Suite) {
     for row_len in [65usize, 257, 1025] {
         // K + 1 rows for K in {64, 256, 1024}.
         let keys: Vec<u32> = (0..256).collect();
@@ -16,89 +15,67 @@ fn bench_read_batch(c: &mut Criterion) {
         let vals = vec![1.0f32; keys.len() * row_len];
         sharded.write_batch(&keys, &vals).unwrap();
         let mut buf = vec![0.0f32; keys.len() * row_len];
-        group.throughput(Throughput::Bytes((keys.len() * row_len * 4) as u64));
-        group.bench_with_input(
-            BenchmarkId::new("sharded_256keys", row_len),
-            &row_len,
-            |b, _| {
-                b.iter(|| {
-                    sharded.read_batch(black_box(&keys), &mut buf).unwrap();
-                    black_box(&buf);
-                })
-            },
-        );
+        suite.bench(&format!("dkv_read_batch/sharded_256keys/{row_len}"), || {
+            sharded.read_batch(black_box(&keys), &mut buf).unwrap();
+            black_box(&buf);
+        });
         let mut local = LocalStore::new(1024, row_len);
         local.write_batch(&keys, &vals).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("local_256keys", row_len),
-            &row_len,
-            |b, _| {
-                b.iter(|| {
-                    local.read_batch(black_box(&keys), &mut buf).unwrap();
-                    black_box(&buf);
-                })
-            },
-        );
+        suite.bench(&format!("dkv_read_batch/local_256keys/{row_len}"), || {
+            local.read_batch(black_box(&keys), &mut buf).unwrap();
+            black_box(&buf);
+        });
     }
-    group.finish();
 }
 
-fn bench_write_batch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dkv_write_batch");
+fn bench_write_batch(suite: &mut Suite) {
     let row_len = 65;
     let keys: Vec<u32> = (0..256).collect();
     let vals = vec![2.0f32; keys.len() * row_len];
     let mut store = ShardedStore::new(Partition::new(1024, 64), row_len);
-    group.throughput(Throughput::Bytes((keys.len() * row_len * 4) as u64));
-    group.bench_function("sharded_256keys_k64", |b| {
-        b.iter(|| store.write_batch(black_box(&keys), black_box(&vals)).unwrap())
+    suite.bench("dkv_write_batch/sharded_256keys_k64", || {
+        store.write_batch(black_box(&keys), black_box(&vals)).unwrap()
     });
-    group.finish();
 }
 
-fn bench_pipeline_schedule(c: &mut Criterion) {
+fn bench_pipeline_schedule(suite: &mut Suite) {
     let loads: Vec<f64> = (0..1000).map(|i| (i % 7) as f64 * 0.1).collect();
     let computes: Vec<f64> = (0..1000).map(|i| (i % 5) as f64 * 0.1).collect();
-    c.bench_function("pipeline_schedule_1000_chunks", |b| {
-        b.iter(|| {
-            black_box(schedule(
-                black_box(&loads),
-                black_box(&computes),
-                PipelineMode::Double,
-            ))
-        })
+    suite.bench("pipeline_schedule_1000_chunks", || {
+        black_box(schedule(
+            black_box(&loads),
+            black_box(&computes),
+            PipelineMode::Double,
+        ))
     });
 }
 
-fn bench_chunked_reader(c: &mut Criterion) {
+fn bench_chunked_reader(suite: &mut Suite) {
     let net = NetworkModel::fdr_infiniband();
     let row_len = 65;
     let mut store = ShardedStore::new(Partition::new(4096, 64), row_len);
     let keys: Vec<u32> = (0..1024).collect();
     let vals = vec![1.0f32; keys.len() * row_len];
     store.write_batch(&keys, &vals).unwrap();
-    let mut group = c.benchmark_group("chunked_reader");
-    group.sample_size(20);
     for chunk in [16usize, 128] {
         let reader = ChunkedReader::new(chunk, PipelineMode::Double);
-        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, _| {
-            b.iter(|| {
-                let mut acc = 0.0f64;
-                reader
-                    .run(&store, 0, &keys, &net, |_, _, rows| {
-                        acc += rows[0] as f64;
-                    })
-                    .unwrap();
-                black_box(acc);
-            })
+        suite.bench(&format!("chunked_reader/{chunk}"), || {
+            let mut acc = 0.0f64;
+            reader
+                .run(&store, 0, &keys, &net, |_, _, rows| {
+                    acc += rows[0] as f64;
+                })
+                .unwrap();
+            black_box(acc);
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_read_batch, bench_write_batch, bench_pipeline_schedule, bench_chunked_reader
+fn main() {
+    let mut suite = Suite::from_args("dkv");
+    bench_read_batch(&mut suite);
+    bench_write_batch(&mut suite);
+    bench_pipeline_schedule(&mut suite);
+    bench_chunked_reader(&mut suite);
+    suite.finish();
 }
-criterion_main!(benches);

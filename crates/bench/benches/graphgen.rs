@@ -1,14 +1,17 @@
-//! Criterion benches for graph generation and core graph queries.
+//! Benches for graph generation and core graph queries, on the in-tree
+//! timing harness (`mmsb_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mmsb::graph::generate::chunglu::{generate_chung_lu, ChungLuConfig};
 use mmsb::prelude::*;
-use std::hint::black_box;
+use mmsb_bench::timing::{black_box, Suite};
 
-fn bench_planted_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate_planted");
-    group.sample_size(10);
-    for n in [2000u32, 10_000] {
+fn bench_planted_generation(suite: &mut Suite) {
+    let sizes: &[u32] = if suite.quick() {
+        &[2000]
+    } else {
+        &[2000, 10_000]
+    };
+    for &n in sizes {
         let config = PlantedConfig {
             num_vertices: n,
             num_communities: (n / 60) as usize,
@@ -17,32 +20,26 @@ fn bench_planted_generation(c: &mut Criterion) {
             internal_degree: 12.0,
             background_degree: 1.0,
         };
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
-            b.iter(|| black_box(generate_planted(&config, &mut rng)))
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        suite.bench(&format!("generate_planted/{n}"), || {
+            black_box(generate_planted(&config, &mut rng))
         });
     }
-    group.finish();
 }
 
-fn bench_chung_lu(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate_chung_lu");
-    group.sample_size(10);
+fn bench_chung_lu(suite: &mut Suite) {
     let config = ChungLuConfig {
         num_vertices: 10_000,
         num_edges: 50_000,
         gamma: 2.5,
     };
-    group.throughput(Throughput::Elements(config.num_edges));
-    group.bench_function("n10k_e50k", |b| {
-        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
-        b.iter(|| black_box(generate_chung_lu(&config, &mut rng)))
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+    suite.bench("generate_chung_lu/n10k_e50k", || {
+        black_box(generate_chung_lu(&config, &mut rng))
     });
-    group.finish();
 }
 
-fn bench_graph_queries(c: &mut Criterion) {
+fn bench_graph_queries(suite: &mut Suite) {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
     let graph = generate_planted(
         &PlantedConfig {
@@ -56,32 +53,27 @@ fn bench_graph_queries(c: &mut Criterion) {
         &mut rng,
     )
     .graph;
-    let mut group = c.benchmark_group("graph_queries");
     let n = graph.num_vertices();
-    group.bench_function("has_edge_random", |b| {
-        b.iter(|| {
-            let a = VertexId(rng.below(n as u64) as u32);
-            let v = VertexId(rng.below(n as u64) as u32);
-            if a != v {
-                black_box(graph.has_edge(a, v));
-            }
-        })
+    suite.bench("graph_queries/has_edge_random", || {
+        let a = VertexId(rng.below(n as u64) as u32);
+        let v = VertexId(rng.below(n as u64) as u32);
+        if a != v {
+            black_box(graph.has_edge(a, v));
+        }
     });
-    group.bench_function("degree_scan", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for v in 0..n {
-                acc += graph.degree(VertexId(v)) as u64;
-            }
-            black_box(acc)
-        })
+    suite.bench("graph_queries/degree_scan", || {
+        let mut acc = 0u64;
+        for v in 0..n {
+            acc += graph.degree(VertexId(v)) as u64;
+        }
+        black_box(acc)
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_planted_generation, bench_chung_lu, bench_graph_queries
+fn main() {
+    let mut suite = Suite::from_args("graphgen");
+    bench_planted_generation(&mut suite);
+    bench_chung_lu(&mut suite);
+    bench_graph_queries(&mut suite);
+    suite.finish();
 }
-criterion_main!(benches);

@@ -1,12 +1,12 @@
-//! Criterion micro-benches for the numerical kernels — the measured
-//! counterparts of the per-phase numbers in Figure 1 and Table III.
+//! Micro-benches for the numerical kernels — the measured counterparts
+//! of the per-phase numbers in Figure 1 and Table III. Runs on the
+//! in-tree timing harness (`mmsb_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mmsb::core::kernels::phi::{update_phi_row, PhiParams};
 use mmsb::core::kernels::theta::{theta_gradient_pair, update_theta};
 use mmsb::core::kernels::RowView;
 use mmsb::prelude::*;
-use std::hint::black_box;
+use mmsb_bench::timing::{black_box, Suite};
 
 fn simplex_row(rng: &mut Xoshiro256PlusPlus, k: usize) -> Vec<f32> {
     let raw: Vec<f64> = (0..k).map(|_| 0.05 + rng.next_f64()).collect();
@@ -14,8 +14,7 @@ fn simplex_row(rng: &mut Xoshiro256PlusPlus, k: usize) -> Vec<f32> {
     raw.iter().map(|&x| (x / s) as f32).collect()
 }
 
-fn bench_update_phi(c: &mut Criterion) {
-    let mut group = c.benchmark_group("update_phi_row");
+fn bench_update_phi(suite: &mut Suite) {
     for k in [16usize, 64, 256] {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
         let n_neighbors = 32;
@@ -31,27 +30,25 @@ fn bench_update_phi(c: &mut Criterion) {
             eps: 0.01,
             grad_scale: 100.0,
         };
+        let mut f = vec![0.0f64; 2 * k];
         let mut out = vec![0.0f64; k];
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                update_phi_row(
-                    black_box(&phi_a),
-                    black_box(&beta),
-                    &RowView::new(&rows, k),
-                    &linked,
-                    &params,
-                    &mut rng,
-                    &mut out,
-                );
-                black_box(&out);
-            })
+        suite.bench(&format!("update_phi_row/{k}"), || {
+            update_phi_row(
+                black_box(&phi_a),
+                black_box(&beta),
+                &RowView::new(&rows, k),
+                &linked,
+                &params,
+                &mut rng,
+                &mut f,
+                &mut out,
+            );
+            black_box(&out);
         });
     }
-    group.finish();
 }
 
-fn bench_theta(c: &mut Criterion) {
-    let mut group = c.benchmark_group("theta");
+fn bench_theta(suite: &mut Suite) {
     for k in [16usize, 64, 256] {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
         let pi_a = simplex_row(&mut rng, k);
@@ -60,58 +57,52 @@ fn bench_theta(c: &mut Criterion) {
         let beta: Vec<f64> = (0..k)
             .map(|c| theta[2 * c + 1] / (theta[2 * c] + theta[2 * c + 1]))
             .collect();
+        let mut f_diag = vec![0.0f64; k];
         let mut grad = vec![0.0f64; 2 * k];
-        group.bench_with_input(BenchmarkId::new("gradient_pair", k), &k, |b, _| {
-            b.iter(|| {
-                theta_gradient_pair(
-                    black_box(&pi_a),
-                    black_box(&pi_b),
-                    true,
-                    100.0,
-                    &beta,
-                    &theta,
-                    1e-5,
-                    &mut grad,
-                );
-                black_box(&grad);
-            })
+        suite.bench(&format!("theta/gradient_pair/{k}"), || {
+            theta_gradient_pair(
+                black_box(&pi_a),
+                black_box(&pi_b),
+                true,
+                100.0,
+                &beta,
+                &theta,
+                1e-5,
+                &mut f_diag,
+                &mut grad,
+            );
+            black_box(&grad);
         });
         let mut theta_mut = theta.clone();
-        group.bench_with_input(BenchmarkId::new("update", k), &k, |b, _| {
-            b.iter(|| {
-                update_theta(&mut theta_mut, &grad, 1.0, (1.0, 1.0), 0.001, &mut rng);
-                black_box(&theta_mut);
-            })
+        suite.bench(&format!("theta/update/{k}"), || {
+            update_theta(&mut theta_mut, &grad, 1.0, (1.0, 1.0), 0.001, &mut rng);
+            black_box(&theta_mut);
         });
     }
-    group.finish();
 }
 
-fn bench_perplexity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("link_probability");
+fn bench_perplexity(suite: &mut Suite) {
     for k in [16usize, 64, 256] {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
         let pi_a = simplex_row(&mut rng, k);
         let pi_b = simplex_row(&mut rng, k);
         let beta: Vec<f64> = (0..k).map(|_| rng.next_f64()).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                black_box(link_probability(
-                    black_box(&pi_a),
-                    black_box(&pi_b),
-                    &beta,
-                    1e-5,
-                    true,
-                ))
-            })
+        suite.bench(&format!("link_probability/{k}"), || {
+            black_box(link_probability(
+                black_box(&pi_a),
+                black_box(&pi_b),
+                &beta,
+                1e-5,
+                true,
+            ))
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_update_phi, bench_theta, bench_perplexity
+fn main() {
+    let mut suite = Suite::from_args("kernels");
+    bench_update_phi(&mut suite);
+    bench_theta(&mut suite);
+    bench_perplexity(&mut suite);
+    suite.finish();
 }
-criterion_main!(benches);

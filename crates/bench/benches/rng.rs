@@ -1,66 +1,57 @@
-//! Criterion benches for the RNG substrate: the sampler draws millions of
-//! variates per iteration, so these set the floor of `update_phi`.
+//! Benches for the RNG substrate: the sampler draws millions of variates
+//! per iteration, so these set the floor of `update_phi`. Runs on the
+//! in-tree timing harness (`mmsb_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mmsb::rand::dist::{Beta, Dirichlet, Gamma, Normal, Sample};
 use mmsb::rand::{Rng, RngCore, Xoshiro256PlusPlus};
-use std::hint::black_box;
+use mmsb_bench::timing::{black_box, Suite};
 
-fn bench_uniform(c: &mut Criterion) {
+fn bench_uniform(suite: &mut Suite) {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
-    let mut group = c.benchmark_group("uniform");
-    group.bench_function("next_u64", |b| b.iter(|| black_box(rng.next_u64())));
-    group.bench_function("next_f64", |b| b.iter(|| black_box(rng.next_f64())));
-    group.bench_function("below_1000", |b| b.iter(|| black_box(rng.below(1000))));
-    group.finish();
+    suite.bench("uniform/next_u64", || black_box(rng.next_u64()));
+    suite.bench("uniform/next_f64", || black_box(rng.next_f64()));
+    suite.bench("uniform/below_1000", || black_box(rng.below(1000)));
 }
 
-fn bench_distributions(c: &mut Criterion) {
+fn bench_distributions(suite: &mut Suite) {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
-    let mut group = c.benchmark_group("distributions");
-    group.bench_function("normal_standard", |b| {
-        b.iter(|| black_box(Normal::standard_sample(&mut rng)))
+    suite.bench("distributions/normal_standard", || {
+        black_box(Normal::standard_sample(&mut rng))
     });
     let gamma = Gamma::new(0.5, 1.0).unwrap();
-    group.bench_function("gamma_shape_0.5", |b| {
-        b.iter(|| black_box(gamma.sample(&mut rng)))
+    suite.bench("distributions/gamma_shape_0.5", || {
+        black_box(gamma.sample(&mut rng))
     });
     let gamma2 = Gamma::new(5.0, 1.0).unwrap();
-    group.bench_function("gamma_shape_5", |b| {
-        b.iter(|| black_box(gamma2.sample(&mut rng)))
+    suite.bench("distributions/gamma_shape_5", || {
+        black_box(gamma2.sample(&mut rng))
     });
     let beta = Beta::new(1.0, 1.0).unwrap();
-    group.bench_function("beta_1_1", |b| b.iter(|| black_box(beta.sample(&mut rng))));
+    suite.bench("distributions/beta_1_1", || black_box(beta.sample(&mut rng)));
     let dir = Dirichlet::symmetric(0.1, 64).unwrap();
     let mut buf = vec![0.0f64; 64];
-    group.bench_function("dirichlet_k64", |b| {
-        b.iter(|| {
-            dir.sample_into(&mut rng, &mut buf);
-            black_box(&buf);
-        })
+    suite.bench("distributions/dirichlet_k64", || {
+        dir.sample_into(&mut rng, &mut buf);
+        black_box(&buf);
     });
-    group.finish();
 }
 
-fn bench_sampling_helpers(c: &mut Criterion) {
+fn bench_sampling_helpers(suite: &mut Suite) {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
-    let mut group = c.benchmark_group("helpers");
-    group.bench_function("sample_distinct_32_of_65536", |b| {
-        b.iter(|| black_box(rng.sample_distinct(65536, 32)))
+    suite.bench("helpers/sample_distinct_32_of_65536", || {
+        black_box(rng.sample_distinct(65536, 32))
     });
     let mut items: Vec<u32> = (0..1024).collect();
-    group.bench_function("shuffle_1024", |b| {
-        b.iter(|| {
-            rng.shuffle(&mut items);
-            black_box(&items);
-        })
+    suite.bench("helpers/shuffle_1024", || {
+        rng.shuffle(&mut items);
+        black_box(&items);
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(50);
-    targets = bench_uniform, bench_distributions, bench_sampling_helpers
+fn main() {
+    let mut suite = Suite::from_args("rng");
+    bench_uniform(&mut suite);
+    bench_distributions(&mut suite);
+    bench_sampling_helpers(&mut suite);
+    suite.finish();
 }
-criterion_main!(benches);

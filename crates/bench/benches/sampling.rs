@@ -1,10 +1,10 @@
-//! Criterion benches for mini-batch machinery and whole sampler steps.
+//! Benches for mini-batch machinery and whole sampler steps, on the
+//! in-tree timing harness (`mmsb_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mmsb::graph::minibatch::MinibatchSampler;
 use mmsb::graph::neighbor::NeighborSampler;
 use mmsb::prelude::*;
-use std::hint::black_box;
+use mmsb_bench::timing::{black_box, Suite};
 
 fn training_graph() -> (Graph, HeldOut) {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
@@ -22,9 +22,7 @@ fn training_graph() -> (Graph, HeldOut) {
     HeldOut::split(&generated.graph, 400, &mut rng)
 }
 
-fn bench_minibatch(c: &mut Criterion) {
-    let (graph, heldout) = training_graph();
-    let mut group = c.benchmark_group("minibatch");
+fn bench_minibatch(suite: &mut Suite, graph: &Graph, heldout: &HeldOut) {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
     for (name, strategy) in [
         (
@@ -37,30 +35,23 @@ fn bench_minibatch(c: &mut Criterion) {
         ("random_pairs_1024", Strategy::RandomPair { size: 1024 }),
     ] {
         let sampler = MinibatchSampler::new(strategy);
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(sampler.sample(&graph, Some(&heldout), &mut rng)))
+        suite.bench(&format!("minibatch/{name}"), || {
+            black_box(sampler.sample(graph, Some(heldout), &mut rng))
         });
     }
-    group.finish();
 }
 
-fn bench_neighbor_sampling(c: &mut Criterion) {
-    let (graph, heldout) = training_graph();
-    let mut group = c.benchmark_group("neighbor_sample");
+fn bench_neighbor_sampling(suite: &mut Suite, graph: &Graph, heldout: &HeldOut) {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
     for n in [32usize, 128] {
         let sampler = NeighborSampler::new(graph.num_vertices(), n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(sampler.sample(VertexId(7), Some(&heldout), &mut rng)))
+        suite.bench(&format!("neighbor_sample/{n}"), || {
+            black_box(sampler.sample(VertexId(7), Some(heldout), &mut rng))
         });
     }
-    group.finish();
 }
 
-fn bench_sampler_step(c: &mut Criterion) {
-    let (graph, heldout) = training_graph();
-    let mut group = c.benchmark_group("sampler_step");
-    group.sample_size(10);
+fn bench_sampler_step(suite: &mut Suite, graph: &Graph, heldout: &HeldOut) {
     for k in [16usize, 64] {
         let config = SamplerConfig::new(k)
             .with_seed(5)
@@ -68,31 +59,26 @@ fn bench_sampler_step(c: &mut Criterion) {
                 partitions: 32,
                 anchors: 16,
             });
-        let mut sampler =
-            SequentialSampler::new(graph.clone(), heldout.clone(), config).unwrap();
-        group.bench_with_input(BenchmarkId::new("sequential", k), &k, |b, _| {
-            b.iter(|| sampler.step())
-        });
+        let mut sampler = SequentialSampler::new(graph.clone(), heldout.clone(), config).unwrap();
+        suite.bench(&format!("sampler_step/sequential/{k}"), || sampler.step());
     }
-    group.finish();
 }
 
-fn bench_perplexity_eval(c: &mut Criterion) {
-    let (graph, heldout) = training_graph();
+fn bench_perplexity_eval(suite: &mut Suite, graph: &Graph, heldout: &HeldOut) {
     let config = SamplerConfig::new(64).with_seed(6);
-    let mut sampler = SequentialSampler::new(graph, heldout, config).unwrap();
+    let mut sampler = SequentialSampler::new(graph.clone(), heldout.clone(), config).unwrap();
     sampler.run(5);
-    let mut group = c.benchmark_group("perplexity_eval");
-    group.sample_size(20);
-    group.bench_function("heldout_800_pairs_k64", |b| {
-        b.iter(|| black_box(sampler.evaluate_perplexity()))
+    suite.bench("perplexity_eval/heldout_800_pairs_k64", || {
+        black_box(sampler.evaluate_perplexity())
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_minibatch, bench_neighbor_sampling, bench_sampler_step, bench_perplexity_eval
+fn main() {
+    let mut suite = Suite::from_args("sampling");
+    let (graph, heldout) = training_graph();
+    bench_minibatch(&mut suite, &graph, &heldout);
+    bench_neighbor_sampling(&mut suite, &graph, &heldout);
+    bench_sampler_step(&mut suite, &graph, &heldout);
+    bench_perplexity_eval(&mut suite, &graph, &heldout);
+    suite.finish();
 }
-criterion_main!(benches);

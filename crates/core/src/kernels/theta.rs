@@ -11,7 +11,8 @@ use mmsb_rand::RngCore;
 ///
 /// `weight * f_kk / Z_ab * (|1 - i - y| / theta_ki - 1 / sum_j theta_kj)`
 /// with `f_kk = p(y | beta_k) * pi_ak * pi_bk` and `Z_ab` the pair
-/// marginal.
+/// marginal. `f_diag` is caller scratch of at least `K` slots, so batch
+/// loops reuse one buffer instead of allocating per pair.
 #[allow(clippy::too_many_arguments)] // hot kernel: flat scalar arguments beat a params struct here
 pub fn theta_gradient_pair(
     pi_a: &[f32],
@@ -21,16 +22,17 @@ pub fn theta_gradient_pair(
     beta: &[f64],
     theta: &[f64],
     delta: f64,
+    f_diag: &mut [f64],
     grad: &mut [f64],
 ) {
     let k = beta.len();
     assert!(pi_a.len() >= k && pi_b.len() >= k, "pi rows shorter than K");
+    assert!(f_diag.len() >= k, "f_diag scratch shorter than K");
     assert_eq!(theta.len(), 2 * k, "theta must be K x 2");
     assert_eq!(grad.len(), 2 * k, "gradient buffer must be K x 2");
 
     let p_ne = if y { delta } else { 1.0 - delta };
     // Z and the diagonal terms f_kk in one pass.
-    let mut f_diag = vec![0.0f64; k];
     let mut z = 0.0f64;
     for c in 0..k {
         let pa = pi_a[c] as f64;
@@ -124,8 +126,9 @@ mod tests {
                 .map(|c| theta[2 * c + 1] / (theta[2 * c] + theta[2 * c + 1]))
                 .collect();
             let delta = 0.01;
+            let mut f_diag = vec![0.0; k];
             let mut grad = vec![0.0; 2 * k];
-            theta_gradient_pair(&pi_a, &pi_b, y, 1.0, &beta, &theta, delta, &mut grad);
+            theta_gradient_pair(&pi_a, &pi_b, y, 1.0, &beta, &theta, delta, &mut f_diag, &mut grad);
 
             let h = 1e-6;
             for j in 0..2 * k {
@@ -152,10 +155,11 @@ mod tests {
         let beta: Vec<f64> = (0..k)
             .map(|c| theta[2 * c + 1] / (theta[2 * c] + theta[2 * c + 1]))
             .collect();
+        let mut f_diag = vec![0.0; k];
         let mut unit = vec![0.0; 2 * k];
-        theta_gradient_pair(&pi_a, &pi_b, true, 1.0, &beta, &theta, 0.01, &mut unit);
+        theta_gradient_pair(&pi_a, &pi_b, true, 1.0, &beta, &theta, 0.01, &mut f_diag, &mut unit);
         let mut scaled = vec![0.0; 2 * k];
-        theta_gradient_pair(&pi_a, &pi_b, true, 5.0, &beta, &theta, 0.01, &mut scaled);
+        theta_gradient_pair(&pi_a, &pi_b, true, 5.0, &beta, &theta, 0.01, &mut f_diag, &mut scaled);
         for (u, s) in unit.iter().zip(&scaled) {
             assert!((5.0 * u - s).abs() < 1e-12);
         }
@@ -168,11 +172,12 @@ mod tests {
         let beta: Vec<f64> = (0..k)
             .map(|c| theta[2 * c + 1] / (theta[2 * c] + theta[2 * c + 1]))
             .collect();
+        let mut f_diag = vec![0.0; k];
         let mut once = vec![0.0; 2 * k];
-        theta_gradient_pair(&pi_a, &pi_b, true, 1.0, &beta, &theta, 0.01, &mut once);
+        theta_gradient_pair(&pi_a, &pi_b, true, 1.0, &beta, &theta, 0.01, &mut f_diag, &mut once);
         let mut twice = vec![0.0; 2 * k];
-        theta_gradient_pair(&pi_a, &pi_b, true, 1.0, &beta, &theta, 0.01, &mut twice);
-        theta_gradient_pair(&pi_a, &pi_b, true, 1.0, &beta, &theta, 0.01, &mut twice);
+        theta_gradient_pair(&pi_a, &pi_b, true, 1.0, &beta, &theta, 0.01, &mut f_diag, &mut twice);
+        theta_gradient_pair(&pi_a, &pi_b, true, 1.0, &beta, &theta, 0.01, &mut f_diag, &mut twice);
         for (o, t) in once.iter().zip(&twice) {
             assert!((2.0 * o - t).abs() < 1e-12);
         }
@@ -191,8 +196,9 @@ mod tests {
             let beta: Vec<f64> = (0..k)
                 .map(|c| theta[2 * c + 1] / (theta[2 * c] + theta[2 * c + 1]))
                 .collect();
+            let mut f_diag = vec![0.0; k];
             let mut grad = vec![0.0; 2 * k];
-            theta_gradient_pair(&pi_a, &pi_b, true, 1.0, &beta, &theta, 1e-5, &mut grad);
+            theta_gradient_pair(&pi_a, &pi_b, true, 1.0, &beta, &theta, 1e-5, &mut f_diag, &mut grad);
             update_theta(&mut theta, &grad, 50.0, (1.0, 1.0), 0.005, &mut rng);
         }
         let beta0 = theta[1] / (theta[0] + theta[1]);

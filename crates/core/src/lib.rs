@@ -14,9 +14,11 @@
 //!
 //! * [`SequentialSampler`] — Algorithm 1 verbatim; the reference.
 //! * [`ParallelSampler`] — node-level parallelism over mini-batch vertices
-//!   (the paper's OpenMP layer, here rayon). Bitwise-identical chains to
-//!   the sequential sampler: all per-vertex randomness is derived from
-//!   `(seed, iteration, vertex)`, never from thread schedule.
+//!   (the paper's OpenMP layer, here a from-scratch `mmsb-pool` fork-join
+//!   pool). Bitwise-identical chains to the sequential sampler: all
+//!   per-vertex randomness is derived from `(seed, iteration, vertex)`,
+//!   never from thread schedule, and reductions use fixed chunk
+//!   boundaries combined by a fixed binary tree.
 //! * [`DistributedSampler`] — the master–worker cluster execution
 //!   (paper §III) over the `mmsb-dkv` sharded store, run in lockstep
 //!   simulation: per-rank compute is executed for real and measured,
@@ -63,6 +65,7 @@ mod posterior;
 mod rngs;
 mod sampler;
 mod state;
+mod workspace;
 
 pub use compute_model::NodeComputeModel;
 pub use config::{SamplerConfig, StateLayout, StepSize};

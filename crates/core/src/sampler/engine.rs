@@ -6,12 +6,21 @@ use crate::kernels::theta::{theta_gradient_pair, update_theta};
 use crate::perplexity::{link_probability, PerplexityAccumulator};
 use crate::rngs;
 use crate::state::ModelState;
+use crate::workspace::Workspace;
 use crate::CoreError;
+use mmsb_graph::minibatch::{BatchKind, MiniBatch, MinibatchSampler, Strategy};
 use mmsb_graph::heldout::HeldOut;
-use mmsb_graph::minibatch::{MiniBatch, MinibatchSampler};
 use mmsb_graph::neighbor::NeighborSampler;
 use mmsb_graph::{Graph, VertexId};
 use mmsb_rand::Xoshiro256PlusPlus;
+
+/// Pairs per theta-gradient chunk. One chunk accumulates its pairs
+/// serially (matching the historical serial sum for batches that fit in a
+/// single chunk); chunks are combined by a fixed binary tree.
+pub(crate) const THETA_CHUNK: usize = 1024;
+
+/// Mini-batch vertices per phi-update chunk.
+pub(crate) const PHI_CHUNK: usize = 8;
 
 /// Shared sampler state and per-stage operations.
 ///
@@ -28,6 +37,11 @@ pub(crate) struct Engine {
     pub neighbors: NeighborSampler,
     pub perplexity: PerplexityAccumulator,
     pub iteration: u64,
+    /// Current mini-batch, reused across iterations by
+    /// [`Engine::refresh_minibatch`] so the steady state never allocates.
+    pub mb: MiniBatch,
+    /// Distinct vertices of `mb`, kept alongside it.
+    pub mb_vertices: Vec<VertexId>,
 }
 
 /// One vertex's pending `phi` update.
@@ -45,6 +59,19 @@ impl Engine {
             config.eta,
             &mut init,
         )?;
+        let max_pairs = max_batch_pairs(&graph, config.minibatch);
+        let strata_cap = match config.minibatch {
+            Strategy::StratifiedNode { anchors, .. } => anchors,
+            Strategy::RandomPair { .. } => 0,
+        };
+        let mb = MiniBatch {
+            pairs: Vec::with_capacity(max_pairs),
+            weights: Vec::with_capacity(max_pairs),
+            kind: BatchKind::Strata(Vec::with_capacity(strata_cap)),
+        };
+        // Sized for the pre-dedup extend in `vertices_into` (2 entries per
+        // pair), not the post-dedup bound `max_batch_vertices` returns.
+        let mb_vertices = Vec::with_capacity(2 * max_pairs);
         Ok(Self {
             master_rng: rngs::master_rng(config.seed),
             theta_rng: rngs::theta_rng(config.seed),
@@ -56,7 +83,23 @@ impl Engine {
             config,
             state,
             iteration: 0,
+            mb,
+            mb_vertices,
         })
+    }
+
+    /// Hard upper bound on the number of vertices any mini-batch can touch
+    /// — sizes the drivers' flat update buffer once, up front.
+    pub fn max_batch_vertices(&self) -> usize {
+        (2 * max_batch_pairs(&self.graph, self.config.minibatch))
+            .min(self.graph.num_vertices() as usize)
+    }
+
+    /// Hard upper bound on theta chunks per iteration.
+    pub fn max_theta_chunks(&self) -> usize {
+        max_batch_pairs(&self.graph, self.config.minibatch)
+            .div_ceil(THETA_CHUNK)
+            .max(1)
     }
 
     /// Swap in a new training snapshot (same vertex set, evolved edges)
@@ -87,47 +130,71 @@ impl Engine {
             .sample(&self.graph, Some(&self.heldout), &mut self.master_rng)
     }
 
+    /// Stage 1, allocation-free variant: draw the next mini-batch into the
+    /// engine's reusable [`Engine::mb`]/[`Engine::mb_vertices`] buffers.
+    /// Consumes the master RNG exactly like [`Engine::draw_minibatch`].
+    pub fn refresh_minibatch(&mut self) {
+        self.minibatch.sample_into(
+            &self.graph,
+            Some(&self.heldout),
+            &mut self.master_rng,
+            &mut self.mb,
+        );
+        self.mb.vertices_into(&mut self.mb_vertices);
+    }
+
     /// The step size for the current iteration.
     pub fn eps(&self) -> f64 {
         self.config.step.at(self.iteration)
     }
 
     /// Stage 2 (per mini-batch vertex, pure): sample the neighbor set and
-    /// compute the vertex's `phi` update against the *current* state.
+    /// compute the vertex's `phi` update against the *current* state,
+    /// writing the new row into `out` (length `K`). All scratch comes from
+    /// `ws`, so the steady state performs no heap allocation.
     ///
-    /// All randomness comes from the `(seed, iteration, vertex)` stream.
-    pub fn compute_phi_update(&self, a: VertexId) -> PhiUpdate {
+    /// All randomness comes from the `(seed, iteration, vertex)` stream —
+    /// the result is independent of which thread (and which workspace)
+    /// performs the computation.
+    pub fn compute_phi_update_into(&self, a: VertexId, ws: &mut Workspace, out: &mut [f64]) {
         let k = self.config.k;
         let mut rng = rngs::vertex_rng(self.config.seed, self.iteration, a.0);
-        let neighbors = self.neighbors.sample(a, Some(&self.heldout), &mut rng);
+        self.neighbors.sample_into(
+            a,
+            Some(&self.heldout),
+            &mut rng,
+            &mut ws.neighbors,
+            &mut ws.seen,
+        );
 
         // Gather neighbor pi rows and observations.
-        let mut rows = vec![0.0f32; neighbors.len() * k];
-        let mut linked = vec![false; neighbors.len()];
-        for (i, &b) in neighbors.iter().enumerate() {
-            rows[i * k..(i + 1) * k].copy_from_slice(self.state.pi_row(b.0));
-            linked[i] = self.graph.has_edge(a, b);
+        let nn = ws.neighbors.len();
+        ws.rows.clear();
+        ws.rows.resize(nn * k, 0.0);
+        ws.linked.clear();
+        ws.linked.resize(nn, false);
+        for (i, &b) in ws.neighbors.iter().enumerate() {
+            ws.rows[i * k..(i + 1) * k].copy_from_slice(self.state.pi_row(b.0));
+            ws.linked[i] = self.graph.has_edge(a, b);
         }
 
-        let mut phi_a = vec![0.0f64; k];
-        self.state.phi_row(a.0, &mut phi_a);
+        self.state.phi_row(a.0, &mut ws.phi_a);
         let params = PhiParams {
             alpha: self.config.alpha,
             delta: self.config.delta,
             eps: self.eps(),
-            grad_scale: self.graph.num_vertices() as f64 / neighbors.len().max(1) as f64,
+            grad_scale: self.graph.num_vertices() as f64 / nn.max(1) as f64,
         };
-        let mut out = vec![0.0f64; k];
         update_phi_row(
-            &phi_a,
+            &ws.phi_a,
             self.state.beta(),
-            &crate::kernels::RowView::new(&rows, k),
-            &linked,
+            &crate::kernels::RowView::new(&ws.rows, k),
+            &ws.linked,
             &params,
             &mut rng,
-            &mut out,
+            &mut ws.f,
+            out,
         );
-        (a, out)
     }
 
     /// Distributed variant of [`Engine::compute_phi_update`]: the vertex's
@@ -170,6 +237,50 @@ impl Engine {
         }
     }
 
+    /// Stage 3, allocation-free variant: `updates` holds one `K`-row per
+    /// entry of [`Engine::mb_vertices`], in order.
+    pub fn apply_phi_updates_flat(&mut self, updates: &[f64]) {
+        let k = self.config.k;
+        assert_eq!(
+            updates.len(),
+            self.mb_vertices.len() * k,
+            "flat update buffer must hold one row per mini-batch vertex"
+        );
+        for (i, &a) in self.mb_vertices.iter().enumerate() {
+            self.state.set_phi_row(a.0, &updates[i * k..(i + 1) * k]);
+        }
+    }
+
+    /// Number of theta-gradient chunks the current mini-batch splits into
+    /// (at least one, so an empty batch still drives the theta noise).
+    pub fn theta_chunk_count(&self) -> usize {
+        self.mb.pairs.len().div_ceil(THETA_CHUNK).max(1)
+    }
+
+    /// Accumulate chunk `chunk` of the current mini-batch's weighted theta
+    /// gradient into `out` (length `2K`, overwritten). Pairs within a
+    /// chunk are accumulated serially in batch order; chunk boundaries are
+    /// fixed multiples of `THETA_CHUNK`, so the result depends only on the
+    /// batch, never on thread count.
+    pub fn theta_gradient_chunk(&self, chunk: usize, ws: &mut Workspace, out: &mut [f64]) {
+        out.fill(0.0);
+        let lo = chunk * THETA_CHUNK;
+        let hi = ((chunk + 1) * THETA_CHUNK).min(self.mb.pairs.len());
+        for (&(e, y), &w) in self.mb.pairs[lo..hi].iter().zip(&self.mb.weights[lo..hi]) {
+            theta_gradient_pair(
+                self.state.pi_row(e.lo().0),
+                self.state.pi_row(e.hi().0),
+                y,
+                w,
+                self.state.beta(),
+                self.state.theta(),
+                self.config.delta,
+                &mut ws.grad,
+                out,
+            );
+        }
+    }
+
     /// Compute the weighted `theta` gradient contribution of a slice of
     /// mini-batch pairs against the current (fresh) `pi`. Pure; used by
     /// workers. `weights` must align with `pairs`.
@@ -179,6 +290,7 @@ impl Engine {
         weights: &[f64],
     ) -> Vec<f64> {
         assert_eq!(pairs.len(), weights.len(), "weights must align with pairs");
+        let mut f_diag = vec![0.0f64; self.config.k];
         let mut grad = vec![0.0f64; 2 * self.config.k];
         for (&(e, y), &w) in pairs.iter().zip(weights) {
             theta_gradient_pair(
@@ -189,6 +301,7 @@ impl Engine {
                 self.state.beta(),
                 self.state.theta(),
                 self.config.delta,
+                &mut f_diag,
                 &mut grad,
             );
         }
@@ -214,18 +327,25 @@ impl Engine {
 
     /// Per-pair probabilities for a contiguous held-out range (pure).
     pub fn perplexity_probs(&self, lo: usize, hi: usize) -> Vec<f64> {
-        self.heldout.pairs()[lo..hi]
-            .iter()
-            .map(|&(e, y)| {
-                link_probability(
-                    self.state.pi_row(e.lo().0),
-                    self.state.pi_row(e.hi().0),
-                    self.state.beta(),
-                    self.config.delta,
-                    y,
-                )
-            })
-            .collect()
+        let mut out = vec![0.0f64; hi - lo];
+        self.perplexity_probs_into(lo, hi, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Engine::perplexity_probs`]: fill `out`
+    /// (length `hi - lo`) with the per-pair probabilities of the held-out
+    /// range `[lo, hi)`.
+    pub fn perplexity_probs_into(&self, lo: usize, hi: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), hi - lo, "output must match the held-out range");
+        for (slot, &(e, y)) in out.iter_mut().zip(&self.heldout.pairs()[lo..hi]) {
+            *slot = link_probability(
+                self.state.pi_row(e.lo().0),
+                self.state.pi_row(e.hi().0),
+                self.state.beta(),
+                self.config.delta,
+                y,
+            );
+        }
     }
 
     /// Record one posterior sample into the running perplexity average and
@@ -277,6 +397,7 @@ pub(crate) fn phi_update_from_dkv_rows(
         eps: params.eps,
         grad_scale: params.n as f64 / linked.len().max(1) as f64,
     };
+    let mut f = vec![0.0f64; 2 * k];
     let mut out = vec![0.0f64; k];
     update_phi_row(
         &phi_a,
@@ -285,7 +406,26 @@ pub(crate) fn phi_update_from_dkv_rows(
         linked,
         &kernel_params,
         rng,
+        &mut f,
         &mut out,
     );
     (a, out)
+}
+
+/// Worst-case pair count of one mini-batch under `strategy` on `graph`:
+/// the stratified batch is bounded by `anchors` strata, each at most
+/// `max(max_degree, ceil(N / partitions))` pairs; a random-pair batch by
+/// its configured size. Used to pre-reserve every per-iteration buffer.
+pub(crate) fn max_batch_pairs(graph: &Graph, strategy: Strategy) -> usize {
+    match strategy {
+        Strategy::RandomPair { size } => size,
+        Strategy::StratifiedNode {
+            partitions,
+            anchors,
+        } => {
+            let n = graph.num_vertices() as usize;
+            let stratum = (graph.max_degree() as usize).max(n.div_ceil(partitions));
+            anchors * stratum
+        }
+    }
 }

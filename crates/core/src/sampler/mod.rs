@@ -12,6 +12,7 @@ pub mod parallel;
 pub mod sequential;
 pub mod threaded;
 
+mod driver;
 mod engine;
 
 pub(crate) use engine::Engine;

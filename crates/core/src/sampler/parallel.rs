@@ -1,50 +1,82 @@
 //! The node-level parallel driver (the paper's OpenMP layer).
 //!
 //! `update_phi` is data-parallel over mini-batch vertices and the held-out
-//! perplexity is data-parallel over pairs; both fan out over rayon. Every
-//! random draw is keyed by `(seed, iteration, vertex)`, so the chain is
+//! perplexity is data-parallel over pairs; both fan out over the
+//! from-scratch `mmsb-pool` fork-join pool. Every random draw is keyed by
+//! `(seed, iteration, vertex)`, chunk boundaries are fixed, and the theta
+//! reduction is a fixed binary tree over chunk partials — so the chain is
 //! **bitwise identical** to [`crate::SequentialSampler`] regardless of the
 //! number of threads or the scheduler — the property the equivalence tests
 //! pin down.
 
+use super::driver::{self, StepBuffers};
 use super::Engine;
 use crate::communities::Communities;
 use crate::config::SamplerConfig;
+use crate::workspace::Workspace;
 use crate::{CoreError, ModelState};
 use mmsb_graph::heldout::HeldOut;
 use mmsb_graph::Graph;
-use rayon::prelude::*;
+use mmsb_pool::ThreadPool;
 
 /// Multi-threaded SG-MCMC sampler.
 pub struct ParallelSampler {
     engine: Engine,
+    pool: ThreadPool,
+    workspaces: Vec<Workspace>,
+    bufs: StepBuffers,
 }
 
 impl ParallelSampler {
-    /// Build a sampler over a training graph and held-out set. Uses the
-    /// global rayon pool.
+    /// Build a sampler over a training graph and held-out set, using one
+    /// pool thread per available CPU.
     pub fn new(graph: Graph, heldout: HeldOut, config: SamplerConfig) -> Result<Self, CoreError> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(graph, heldout, config, threads)
+    }
+
+    /// Build a sampler with an explicit pool size. `threads == 1` degrades
+    /// to inline execution (no worker threads are spawned) and produces the
+    /// same chain as any other pool size.
+    pub fn with_threads(
+        graph: Graph,
+        heldout: HeldOut,
+        config: SamplerConfig,
+        threads: usize,
+    ) -> Result<Self, CoreError> {
+        if threads == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "thread count must be at least 1".into(),
+            });
+        }
+        let engine = Engine::new(graph, heldout, config)?;
+        let bufs = StepBuffers::new(&engine);
+        let workspaces = (0..threads)
+            .map(|_| Workspace::new(engine.config.k, engine.config.neighbor_sample))
+            .collect();
         Ok(Self {
-            engine: Engine::new(graph, heldout, config)?,
+            engine,
+            pool: ThreadPool::new(threads),
+            workspaces,
+            bufs,
         })
+    }
+
+    /// The pool size this sampler fans out over.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// Run one full iteration.
     pub fn step(&mut self) {
-        let mb = self.engine.draw_minibatch();
-        let vertices = mb.vertices();
-        // Parallel phase: pure per-vertex computation; results arrive in
-        // vertex order because par_iter preserves indexed order on collect.
-        let updates: Vec<_> = vertices
-            .par_iter()
-            .map(|&a| self.engine.compute_phi_update(a))
-            .collect();
-        self.engine.apply_phi_updates(&updates);
-        // Theta gradient: summed serially in mini-batch order so the
-        // floating-point reduction order matches the sequential driver.
-        let grad = self.engine.theta_gradient_slice(&mb.pairs, &mb.weights);
-        self.engine.apply_theta_update(&grad);
-        self.engine.bump_iteration();
+        driver::step(
+            &mut self.engine,
+            &self.pool,
+            &mut self.workspaces,
+            &mut self.bufs,
+        );
     }
 
     /// Run `iterations` steps.
@@ -54,20 +86,15 @@ impl ParallelSampler {
         }
     }
 
-    /// Evaluate held-out perplexity (parallel over fixed-boundary chunks,
-    /// combined in chunk order — deterministic).
+    /// Evaluate held-out perplexity (parallel over fixed-boundary chunks
+    /// writing disjoint ranges of one flat buffer — deterministic).
     pub fn evaluate_perplexity(&mut self) -> f64 {
-        let n = self.engine.heldout.len();
-        let chunk = 1024;
-        let bounds: Vec<(usize, usize)> = (0..n.div_ceil(chunk))
-            .map(|i| (i * chunk, ((i + 1) * chunk).min(n)))
-            .collect();
-        let chunks: Vec<Vec<f64>> = bounds
-            .par_iter()
-            .map(|&(lo, hi)| self.engine.perplexity_probs(lo, hi))
-            .collect();
-        let probs: Vec<f64> = chunks.into_iter().flatten().collect();
-        self.engine.record_perplexity_sample(&probs)
+        driver::evaluate_perplexity(
+            &mut self.engine,
+            &self.pool,
+            &mut self.workspaces,
+            &mut self.bufs,
+        )
     }
 
     /// Advance to a new training snapshot (same vertex set, evolved edge

@@ -1,38 +1,54 @@
 //! The sequential reference driver (Algorithm 1, staged form).
 
+use super::driver::{self, StepBuffers};
 use super::Engine;
 use crate::communities::Communities;
 use crate::config::SamplerConfig;
+use crate::workspace::Workspace;
 use crate::{CoreError, ModelState};
 use mmsb_graph::heldout::HeldOut;
 use mmsb_graph::Graph;
+use mmsb_pool::ThreadPool;
 
 /// Single-threaded SG-MCMC sampler — the reference every other driver is
 /// tested against.
+///
+/// Runs the shared chunked driver on a one-thread [`ThreadPool`], which
+/// executes every chunk inline on the calling thread in chunk order. The
+/// multi-threaded [`crate::ParallelSampler`] runs the *same* driver code,
+/// so their chains are bitwise-identical by construction.
 pub struct SequentialSampler {
     engine: Engine,
+    pool: ThreadPool,
+    workspaces: Vec<Workspace>,
+    bufs: StepBuffers,
 }
 
 impl SequentialSampler {
     /// Build a sampler over a training graph and held-out set.
     pub fn new(graph: Graph, heldout: HeldOut, config: SamplerConfig) -> Result<Self, CoreError> {
+        let engine = Engine::new(graph, heldout, config)?;
+        let bufs = StepBuffers::new(&engine);
+        let workspaces = vec![Workspace::new(
+            engine.config.k,
+            engine.config.neighbor_sample,
+        )];
         Ok(Self {
-            engine: Engine::new(graph, heldout, config)?,
+            engine,
+            pool: ThreadPool::new(1),
+            workspaces,
+            bufs,
         })
     }
 
     /// Run one full iteration (mini-batch, `phi` updates, `theta` update).
     pub fn step(&mut self) {
-        let mb = self.engine.draw_minibatch();
-        let updates: Vec<_> = mb
-            .vertices()
-            .into_iter()
-            .map(|a| self.engine.compute_phi_update(a))
-            .collect();
-        self.engine.apply_phi_updates(&updates);
-        let grad = self.engine.theta_gradient_slice(&mb.pairs, &mb.weights);
-        self.engine.apply_theta_update(&grad);
-        self.engine.bump_iteration();
+        driver::step(
+            &mut self.engine,
+            &self.pool,
+            &mut self.workspaces,
+            &mut self.bufs,
+        );
     }
 
     /// Run `iterations` steps.
@@ -45,8 +61,12 @@ impl SequentialSampler {
     /// Evaluate held-out perplexity, folding the current state into the
     /// running posterior average (Eq. 7).
     pub fn evaluate_perplexity(&mut self) -> f64 {
-        let probs = self.engine.perplexity_probs(0, self.engine.heldout.len());
-        self.engine.record_perplexity_sample(&probs)
+        driver::evaluate_perplexity(
+            &mut self.engine,
+            &self.pool,
+            &mut self.workspaces,
+            &mut self.bufs,
+        )
     }
 
     /// Advance to a new training snapshot (same vertex set, evolved edge

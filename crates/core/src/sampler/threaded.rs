@@ -34,8 +34,7 @@ use mmsb_dkv::{DkvStore, Partition, ShardedStore};
 use mmsb_graph::heldout::HeldOut;
 use mmsb_graph::neighbor::NeighborSampler;
 use mmsb_graph::{Graph, VertexId};
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Result of a threaded training run.
 #[derive(Debug)]
@@ -165,7 +164,7 @@ pub fn train_threaded(
     }
 
     // Sync pi back from the store into the master's state.
-    let store = store.read();
+    let store = store.read().expect("store lock poisoned");
     let mut row = vec![0.0f32; k + 1];
     for a in 0..n {
         store.read_batch(&[a], &mut row)?;
@@ -239,7 +238,7 @@ fn worker_loop(
         // ---- update_phi: one-sided reads, local compute ----
         let mut updates: Vec<(u32, Vec<f64>)> = Vec::with_capacity(ids.len());
         {
-            let store = store.read();
+            let store = store.read().expect("store lock poisoned");
             for (i, &v) in ids.iter().enumerate() {
                 let a = VertexId(v);
                 let mut rng = crate::rngs::vertex_rng(config.seed, t, v);
@@ -279,15 +278,16 @@ fn worker_loop(
                 }
                 out[k] = sum as f32;
             }
-            let mut store = store.write();
+            let mut store = store.write().expect("store lock poisoned");
             store.write_batch(&keys, &vals)?;
         }
         ep.barrier(); // fresh pi everywhere before update_beta
 
         // ---- update_beta_theta: local gradient, global reduce ----
         let mut grad = vec![0.0f64; 2 * k];
+        let mut f_diag = vec![0.0f64; k];
         {
-            let store = store.read();
+            let store = store.read().expect("store lock poisoned");
             let mut row_a = vec![0.0f32; row_len];
             let mut row_b = vec![0.0f32; row_len];
             for (chunk, &weight) in pair_words.chunks_exact(3).zip(weights.iter()) {
@@ -302,6 +302,7 @@ fn worker_loop(
                     &beta,
                     &theta,
                     config.delta,
+                    &mut f_diag,
                     &mut grad,
                 );
             }
@@ -313,7 +314,7 @@ fn worker_loop(
             let share = heldout.partition(w, workers);
             let mut probs = Vec::with_capacity(share.len());
             {
-                let store = store.read();
+                let store = store.read().expect("store lock poisoned");
                 let mut row_a = vec![0.0f32; row_len];
                 let mut row_b = vec![0.0f32; row_len];
                 for &(e, y) in share {

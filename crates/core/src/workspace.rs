@@ -1,0 +1,47 @@
+//! Per-thread scratch buffers for the zero-allocation hot path.
+//!
+//! Each pool worker owns one [`Workspace`]; every buffer the per-vertex
+//! `phi` update and the per-chunk `theta` gradient need lives here, so the
+//! steady-state iteration loop performs no heap allocation. Workspace
+//! contents are pure scratch — they never influence results, which is why
+//! dynamic chunk-to-worker assignment cannot perturb the chain.
+
+use mmsb_graph::{FxHashSet, VertexId};
+
+/// Reusable scratch for one worker thread.
+pub(crate) struct Workspace {
+    /// The center vertex's `phi` row (`K` f64s).
+    pub phi_a: Vec<f64>,
+    /// Gathered neighbor `pi` rows (`|V_n| * K` f32s).
+    pub rows: Vec<f32>,
+    /// Per-neighbor observations `y_ab`.
+    pub linked: Vec<bool>,
+    /// `f_diag` scratch of the theta kernel (`K` f64s).
+    pub grad: Vec<f64>,
+    /// Ping-pong `f` scratch of the phi kernel (`2K` f64s).
+    pub f: Vec<f64>,
+    /// Sampled neighbor set.
+    pub neighbors: Vec<VertexId>,
+    /// Dedup set for neighbor rejection sampling.
+    pub seen: FxHashSet<u32>,
+}
+
+impl Workspace {
+    /// Create a workspace sized for `k` communities and neighbor sets of
+    /// up to `neighbor_sample` vertices.
+    pub fn new(k: usize, neighbor_sample: usize) -> Self {
+        let mut seen = FxHashSet::default();
+        // Rejection sampling can insert more candidates than it keeps
+        // (held-out exclusions); over-reserve so the set never regrows.
+        seen.reserve((neighbor_sample * 4).max(64));
+        Self {
+            phi_a: vec![0.0; k],
+            rows: Vec::with_capacity(neighbor_sample * k),
+            linked: Vec::with_capacity(neighbor_sample),
+            grad: vec![0.0; k],
+            f: vec![0.0; 2 * k],
+            neighbors: Vec::with_capacity(neighbor_sample),
+            seen,
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Pins the zero-allocation steady-state contract: after warmup, a
+//! [`ParallelSampler`] `step()` must never touch the heap. Every
+//! per-iteration buffer is pre-reserved at its hard upper bound
+//! (`Engine::new`, `StepBuffers::new`, `Workspace::new`), the pool
+//! publishes jobs as a `Copy` struct, and the mini-batch/neighbor
+//! machinery reuses its vectors — so the counter below must stay at
+//! exactly zero.
+//!
+//! This file holds a single test on purpose: the counting allocator is
+//! process-global, and a concurrently running test would pollute the
+//! count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use mmsb_core::{ParallelSampler, SamplerConfig};
+use mmsb_graph::generate::planted::{generate_planted, PlantedConfig};
+use mmsb_graph::heldout::HeldOut;
+use mmsb_rand::Xoshiro256PlusPlus;
+
+/// Wraps [`System`], counting allocations and reallocations (not frees:
+/// a free without a matching alloc is impossible, and counting both
+/// would double-report) while the gate is up.
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_step_is_allocation_free() {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+    let gen = generate_planted(
+        &PlantedConfig {
+            num_vertices: 300,
+            num_communities: 6,
+            mean_community_size: 55.0,
+            memberships_per_vertex: 1.1,
+            internal_degree: 10.0,
+            background_degree: 0.5,
+        },
+        &mut rng,
+    );
+    let (graph, heldout) = HeldOut::split(&gen.graph, 60, &mut rng);
+
+    // The default config uses stratified-node mini-batches, the strategy
+    // the zero-allocation contract covers (random-pair dedup keeps a
+    // rebuild-per-draw hash set and is exempt).
+    let config = SamplerConfig::new(8).with_seed(7);
+    let mut sampler = ParallelSampler::with_threads(graph, heldout, config, 3).unwrap();
+
+    // Warm up: first iterations may still grow lazily-reserved buffers
+    // (e.g. the strata vector on its first stratified draw).
+    sampler.run(60);
+
+    COUNTING.store(true, Ordering::SeqCst);
+    sampler.run(40);
+    COUNTING.store(false, Ordering::SeqCst);
+
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        n, 0,
+        "steady-state step() hit the allocator {n} times over 40 iterations"
+    );
+}

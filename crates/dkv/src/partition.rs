@@ -62,7 +62,7 @@ impl Partition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mmsb_rand::{Rng, Xoshiro256PlusPlus};
 
     #[test]
     fn owner_and_local_index_consistent() {
@@ -105,19 +105,26 @@ mod tests {
         Partition::new(10, 0);
     }
 
-    proptest! {
-        /// Every key is owned by exactly one rank and the (owner,
-        /// local_index) pair is a bijection into the shards.
-        #[test]
-        fn ownership_is_a_bijection(keys in 1u32..500, ranks in 1usize..20) {
+    /// Every key is owned by exactly one rank and the (owner,
+    /// local_index) pair is a bijection into the shards. Checked over 64
+    /// random (keys, ranks) configurations.
+    #[test]
+    fn ownership_is_a_bijection() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xD1);
+        for _ in 0..64 {
+            let keys = 1 + rng.below(499) as u32;
+            let ranks = 1 + rng.below(19) as usize;
             let p = Partition::new(keys, ranks);
             let mut seen = std::collections::HashSet::new();
             for key in 0..keys {
                 let owner = p.owner(key);
-                prop_assert!(owner < ranks);
+                assert!(owner < ranks, "keys={keys} ranks={ranks}");
                 let local = p.local_index(key);
-                prop_assert!(local < p.shard_size(owner));
-                prop_assert!(seen.insert((owner, local)), "slot collision");
+                assert!(local < p.shard_size(owner), "keys={keys} ranks={ranks}");
+                assert!(
+                    seen.insert((owner, local)),
+                    "slot collision (keys={keys} ranks={ranks})"
+                );
             }
         }
     }

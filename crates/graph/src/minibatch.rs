@@ -85,14 +85,18 @@ impl MiniBatch {
     /// The distinct vertices touched by this mini-batch — the `M` vertices
     /// the master scatters across workers.
     pub fn vertices(&self) -> Vec<VertexId> {
-        let mut vs: Vec<u32> = self
-            .pairs
-            .iter()
-            .flat_map(|&(e, _)| [e.lo().0, e.hi().0])
-            .collect();
-        vs.sort_unstable();
-        vs.dedup();
-        vs.into_iter().map(VertexId).collect()
+        let mut vs = Vec::new();
+        self.vertices_into(&mut vs);
+        vs
+    }
+
+    /// Like [`MiniBatch::vertices`], but reusing `out` — no allocation once
+    /// its capacity covers `2 * pairs.len()`.
+    pub fn vertices_into(&self, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend(self.pairs.iter().flat_map(|&(e, _)| [e.lo(), e.hi()]));
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Number of pairs in the batch.
@@ -152,25 +156,52 @@ impl MinibatchSampler {
         heldout: Option<&HeldOut>,
         rng: &mut R,
     ) -> MiniBatch {
+        let mut out = MiniBatch {
+            pairs: Vec::new(),
+            weights: Vec::new(),
+            kind: BatchKind::RandomPairs,
+        };
+        self.sample_into(graph, heldout, rng, &mut out);
+        out
+    }
+
+    /// Like [`MinibatchSampler::sample`], but reusing the vectors inside
+    /// `out`. The RNG draw sequence is identical to `sample`, so either
+    /// entry point continues the same chain. For the stratified strategy
+    /// this performs no heap allocation once `out`'s capacities cover the
+    /// largest stratum (the random-pair strategy keeps a per-call
+    /// dedup set).
+    pub fn sample_into<R: RngCore>(
+        &self,
+        graph: &Graph,
+        heldout: Option<&HeldOut>,
+        rng: &mut R,
+        out: &mut MiniBatch,
+    ) {
+        out.pairs.clear();
+        out.weights.clear();
         match self.strategy {
-            Strategy::RandomPair { size } => self.sample_random_pairs(graph, heldout, size, rng),
+            Strategy::RandomPair { size } => {
+                self.sample_random_pairs_into(graph, heldout, size, rng, out);
+            }
             Strategy::StratifiedNode { partitions, anchors } => {
-                self.sample_stratified(graph, heldout, partitions, anchors, rng)
+                self.sample_stratified_into(graph, heldout, partitions, anchors, rng, out);
             }
         }
     }
 
-    fn sample_random_pairs<R: RngCore>(
+    fn sample_random_pairs_into<R: RngCore>(
         &self,
         graph: &Graph,
         heldout: Option<&HeldOut>,
         size: usize,
         rng: &mut R,
-    ) -> MiniBatch {
+        out: &mut MiniBatch,
+    ) {
         let n = graph.num_vertices() as u64;
         assert!(n >= 2, "graph must have at least 2 vertices");
         let mut seen = crate::FxHashSet::default();
-        let mut pairs = Vec::with_capacity(size);
+        let pairs = &mut out.pairs;
         let max_pairs = graph.num_pairs() as usize;
         let want = size.min(max_pairs);
         while pairs.len() < want {
@@ -187,27 +218,35 @@ impl MinibatchSampler {
             pairs.push((e, y));
         }
         let scale = graph.num_pairs() as f64 / pairs.len().max(1) as f64;
-        let weights = vec![scale; pairs.len()];
-        MiniBatch {
-            pairs,
-            weights,
-            kind: BatchKind::RandomPairs,
-        }
+        out.weights.resize(pairs.len(), scale);
+        out.kind = BatchKind::RandomPairs;
     }
 
-    fn sample_stratified<R: RngCore>(
+    fn sample_stratified_into<R: RngCore>(
         &self,
         graph: &Graph,
         heldout: Option<&HeldOut>,
         m: usize,
         anchors: usize,
         rng: &mut R,
-    ) -> MiniBatch {
+        out: &mut MiniBatch,
+    ) {
         let n = graph.num_vertices();
         assert!(n >= 2, "graph must have at least 2 vertices");
-        let mut pairs = Vec::new();
-        let mut weights = Vec::new();
-        let mut strata = Vec::with_capacity(anchors);
+        // Reuse the strata vector across draws when the caller passes the
+        // same batch back in.
+        if !matches!(out.kind, BatchKind::Strata(_)) {
+            out.kind = BatchKind::Strata(Vec::with_capacity(anchors));
+        }
+        let MiniBatch {
+            pairs,
+            weights,
+            kind,
+        } = out;
+        let BatchKind::Strata(strata) = kind else {
+            unreachable!("kind was just set to Strata");
+        };
+        strata.clear();
         let averaging = anchors as f64;
         for _ in 0..anchors {
             let anchor = VertexId(rng.below(n as u64) as u32);
@@ -254,11 +293,6 @@ impl MinibatchSampler {
                     partition: p,
                 });
             }
-        }
-        MiniBatch {
-            pairs,
-            weights,
-            kind: BatchKind::Strata(strata),
         }
     }
 }

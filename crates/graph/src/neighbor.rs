@@ -55,6 +55,23 @@ impl NeighborSampler {
     ) -> Vec<VertexId> {
         let mut out = Vec::with_capacity(self.sample_size);
         let mut seen = crate::FxHashSet::default();
+        self.sample_into(center, heldout, rng, &mut out, &mut seen);
+        out
+    }
+
+    /// Like [`NeighborSampler::sample`], but reusing a caller-owned output
+    /// vector and dedup set — allocation-free once their capacities have
+    /// warmed up. The RNG draw sequence is identical to `sample`.
+    pub fn sample_into<R: RngCore>(
+        &self,
+        center: VertexId,
+        heldout: Option<&HeldOut>,
+        rng: &mut R,
+        out: &mut Vec<VertexId>,
+        seen: &mut crate::FxHashSet<u32>,
+    ) {
+        out.clear();
+        seen.clear();
         seen.reserve(self.sample_size * 2);
         // Rejection sampling: for the sparse regimes we care about
         // (n << N), collisions are rare and this is O(n) expected. The
@@ -91,7 +108,6 @@ impl NeighborSampler {
                 out.push(b);
             }
         }
-        out
     }
 
     /// Sample neighbor sets for a whole mini-batch of vertices.

@@ -23,6 +23,7 @@ pub use mmsb_core as core;
 pub use mmsb_dkv as dkv;
 pub use mmsb_graph as graph;
 pub use mmsb_netsim as netsim;
+pub use mmsb_pool as pool;
 pub use mmsb_rand as rand;
 pub use mmsb_svi as svi;
 

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the workspace must build and test fully offline — no
+# registry dependencies, no network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
