@@ -2,7 +2,7 @@
 //! the small-payload region of Figure 5. Runs on the in-tree timing
 //! harness (`mmsb_bench::timing`).
 
-use mmsb::dkv::pipeline::{schedule, ChunkedReader};
+use mmsb::dkv::pipeline::{schedule, ChunkedReader, PrefetchingReader, ReaderScratch};
 use mmsb::dkv::{DkvStore, LocalStore, Partition, ShardedStore};
 use mmsb::prelude::*;
 use mmsb_bench::timing::{black_box, Suite};
@@ -57,12 +57,25 @@ fn bench_chunked_reader(suite: &mut Suite) {
     let keys: Vec<u32> = (0..1024).collect();
     let vals = vec![1.0f32; keys.len() * row_len];
     store.write_batch(&keys, &vals).unwrap();
+    let mut scratch = ReaderScratch::new();
     for chunk in [16usize, 128] {
         let reader = ChunkedReader::new(chunk, PipelineMode::Double);
         suite.bench(&format!("chunked_reader/{chunk}"), || {
             let mut acc = 0.0f64;
             reader
-                .run(&store, 0, &keys, &net, |_, _, rows| {
+                .run(&store, 0, &keys, &net, &mut scratch, |_, _, rows| {
+                    acc += rows[0] as f64;
+                })
+                .unwrap();
+            black_box(acc);
+        });
+    }
+    for chunk in [16usize, 128] {
+        let mut reader = PrefetchingReader::new(chunk);
+        suite.bench(&format!("prefetching_reader/{chunk}"), || {
+            let mut acc = 0.0f64;
+            reader
+                .run(&store, 0, &keys, &net, &mut scratch, |_, _, rows| {
                     acc += rows[0] as f64;
                 })
                 .unwrap();

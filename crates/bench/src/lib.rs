@@ -370,7 +370,7 @@ mod timing_tests {
             samples: 1,
             iters_per_sample: 1,
         };
-        append_json(&path, "s", &[m.clone()]);
+        append_json(&path, "s", std::slice::from_ref(&m));
         append_json(&path, "s", &[m]);
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content.lines().count(), 2);

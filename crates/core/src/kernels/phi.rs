@@ -224,7 +224,7 @@ mod tests {
             let s: f64 = phi_a.iter().sum();
             let inv_s = 1.0 / s;
             let mut expect = vec![0.0f64; 6];
-            let mut fk = vec![0.0f64; 6];
+            let mut fk = [0.0f64; 6];
             for (i, &y) in linked.iter().enumerate() {
                 let pi_b = view.row(i);
                 let p_ne = if y { delta } else { 1.0 - delta };

@@ -25,7 +25,7 @@ use crate::compute_model::NodeComputeModel;
 use crate::config::{SamplerConfig, StateLayout};
 use crate::kernels::RowView;
 use crate::{CoreError, ModelState};
-use mmsb_dkv::pipeline::{schedule, PipelineMode};
+use mmsb_dkv::pipeline::{ChunkedReader, PipelineMode, PrefetchingReader, ReaderScratch};
 use mmsb_dkv::{DkvStore, Partition, ShardedStore};
 use mmsb_graph::heldout::HeldOut;
 use mmsb_graph::{Graph, VertexId};
@@ -115,6 +115,16 @@ pub struct DistributedSampler {
     /// Index 0 is the master; worker `w` is rank `w + 1`.
     clocks: ClusterClocks,
     trace: PhaseTimes,
+    /// Reader buffers (ping-pong row buffers, per-chunk timings, dedup
+    /// scratch) — persistent so the steady state allocates nothing.
+    scratch: ReaderScratch,
+    /// The real double-buffered loader ([`PipelineMode::Double`]); its
+    /// background worker persists across iterations.
+    prefetch: PrefetchingReader,
+    /// Reusable per-worker key/segment staging for the chunked loads.
+    keys_buf: Vec<u32>,
+    seg_lens: Vec<usize>,
+    linked_buf: Vec<bool>,
 }
 
 /// Evenly split `items` into `parts` contiguous chunks (first chunks get
@@ -159,12 +169,20 @@ impl DistributedSampler {
             engine.state.encode_dkv_row(a, &mut row);
             store.write_batch(&[a], &row)?;
         }
+        let prefetch = PrefetchingReader::new(dcfg.chunk_vertices)
+            .with_dedup_reads(dcfg.dedup_reads)
+            .with_compute_scale(dcfg.node.scale(1.0));
         Ok(Self {
             engine,
             dcfg,
             store,
             clocks: ClusterClocks::new(dcfg.workers + 1),
             trace: PhaseTimes::new(),
+            scratch: ReaderScratch::new(),
+            prefetch,
+            keys_buf: Vec::new(),
+            seg_lens: Vec::new(),
+            linked_buf: Vec::new(),
         })
     }
 
@@ -229,6 +247,7 @@ impl DistributedSampler {
         let mut max_neigh = 0.0f64;
         let mut max_load = 0.0f64;
         let mut max_compute = 0.0f64;
+        let mut max_wall = 0.0f64;
         for (w, share) in vertex_shares.iter().enumerate() {
             let rank = w + 1;
             // Sample neighbor sets (worker compute, thread-parallel on the
@@ -250,65 +269,100 @@ impl DistributedSampler {
             self.clocks.advance(rank, neigh);
             max_neigh = max_neigh.max(neigh);
 
-            // Chunked load + compute over this worker's vertices. The
-            // read buffer is reused across chunks: per-chunk multi-MB
-            // allocations would add allocator noise to the measured
-            // compute segments.
+            // Chunked load + compute over this worker's vertices, routed
+            // through the dkv readers. Chunk boundaries follow
+            // `chunk_vertices`, so a chunk's key count varies with the
+            // sampled neighbor sets — hence the segment API. Every buffer
+            // involved (keys, segments, row ping-pong, timings, dedup
+            // scratch) persists on `self`, keeping the steady state
+            // allocation-free.
             let row_len = k + 1;
-            let mut loads = Vec::new();
-            let mut computes = Vec::new();
-            let max_chunk_keys = self.dcfg.chunk_vertices
-                * (1 + self.engine.config.neighbor_sample);
-            let mut buf = vec![0.0f32; max_chunk_keys * row_len];
-            let mut keys = Vec::with_capacity(max_chunk_keys);
-            for chunk in per_vertex.chunks_mut(self.dcfg.chunk_vertices) {
+            let keys = &mut self.keys_buf;
+            let seg_lens = &mut self.seg_lens;
+            keys.clear();
+            seg_lens.clear();
+            for chunk in per_vertex.chunks(self.dcfg.chunk_vertices) {
                 // Keys: own row then neighbor rows, per vertex.
-                keys.clear();
+                let before = keys.len();
                 for (a, ns, _) in chunk.iter() {
                     keys.push(a.0);
                     keys.extend(ns.iter().map(|b| b.0));
                 }
-                let buf = &mut buf[..keys.len() * row_len];
-                self.store
-                    .read_batch(&keys, buf)
-                    .expect("keys are valid vertex ids");
-                if self.dcfg.dedup_reads {
-                    let mut unique = keys.clone();
-                    unique.sort_unstable();
-                    unique.dedup();
-                    loads.push(self.store.read_cost(w, &unique, &net));
-                } else {
-                    loads.push(self.store.read_cost(w, &keys, &net));
-                }
-
-                let t0 = Instant::now();
+                seg_lens.push(keys.len() - before);
+            }
+            let engine = &self.engine;
+            let linked = &mut self.linked_buf;
+            let mut vi = 0usize;
+            let mut on_chunk = |_start: usize, chunk_keys: &[u32], rows: &[f32]| {
                 let mut offset = 0usize;
-                for (a, ns, rng) in chunk.iter_mut() {
-                    let own = &buf[offset * row_len..(offset + 1) * row_len];
+                while offset < chunk_keys.len() {
+                    let (a, ns, rng) = &mut per_vertex[vi];
+                    let own = &rows[offset * row_len..(offset + 1) * row_len];
                     let nrows =
-                        &buf[(offset + 1) * row_len..(offset + 1 + ns.len()) * row_len];
-                    let linked: Vec<bool> =
-                        ns.iter().map(|&b| self.engine.graph.has_edge(*a, b)).collect();
-                    let update = self.engine.compute_phi_update_from_rows(
+                        &rows[(offset + 1) * row_len..(offset + 1 + ns.len()) * row_len];
+                    linked.clear();
+                    linked.extend(ns.iter().map(|&b| engine.graph.has_edge(*a, b)));
+                    let update = engine.compute_phi_update_from_rows(
                         *a,
                         own,
                         &RowView::new(nrows, row_len),
-                        &linked,
+                        linked,
                         rng,
                     );
                     all_updates.push(update);
                     offset += 1 + ns.len();
+                    vi += 1;
                 }
-                computes.push(node.scale(t0.elapsed().as_secs_f64()));
-            }
-            let stage = schedule(&loads, &computes, self.dcfg.pipeline);
+            };
+            // Both modes deliver identical chunks in identical order to
+            // `on_chunk` — only the load execution (and hence time)
+            // differs. The clocks always advance by the *modeled* makespan
+            // so netsim figures stay comparable; Double additionally
+            // records the measured overlapped wall-clock.
+            let (stage, load_sum, compute_sum) = match self.dcfg.pipeline {
+                PipelineMode::Single => {
+                    let run = ChunkedReader::new(self.dcfg.chunk_vertices, PipelineMode::Single)
+                        .with_dedup_reads(self.dcfg.dedup_reads)
+                        .with_compute_scale(node.scale(1.0))
+                        .run_segments(
+                            &self.store,
+                            w,
+                            keys,
+                            seg_lens,
+                            &net,
+                            &mut self.scratch,
+                            &mut on_chunk,
+                        )
+                        .expect("keys are valid vertex ids");
+                    (run.total, run.load, run.compute)
+                }
+                PipelineMode::Double => {
+                    let run = self
+                        .prefetch
+                        .run_segments(
+                            &self.store,
+                            w,
+                            keys,
+                            seg_lens,
+                            &net,
+                            &mut self.scratch,
+                            &mut on_chunk,
+                        )
+                        .expect("keys are valid vertex ids");
+                    max_wall = max_wall.max(run.wall);
+                    (run.modeled.total, run.modeled.load, run.modeled.compute)
+                }
+            };
             self.clocks.advance(rank, stage);
-            max_load = max_load.max(loads.iter().sum());
-            max_compute = max_compute.max(computes.iter().sum());
+            max_load = max_load.max(load_sum);
+            max_compute = max_compute.max(compute_sum);
         }
         self.trace.add(Phase::SampleNeighbors, max_neigh);
         self.trace.add(Phase::LoadPi, max_load);
         self.trace.add(Phase::UpdatePhi, max_compute);
+        if self.dcfg.pipeline == PipelineMode::Double {
+            self.trace.add(Phase::Prefetch, max_wall);
+        }
 
         // Barrier before update_pi (memory consistency, paper §III-C).
         let barrier_cost = net.barrier_time(r + 1);

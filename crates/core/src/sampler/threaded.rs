@@ -30,11 +30,19 @@ use crate::perplexity::link_probability;
 use crate::{CoreError, ModelState};
 use mmsb_comm::message::{MessageReader, MessageWriter};
 use mmsb_comm::{collectives, Endpoint, LocalCluster};
+use mmsb_dkv::pipeline::{ChunkedReader, PipelineMode, PrefetchingReader, ReaderScratch};
 use mmsb_dkv::{DkvStore, Partition, ShardedStore};
 use mmsb_graph::heldout::HeldOut;
 use mmsb_graph::neighbor::NeighborSampler;
 use mmsb_graph::{Graph, VertexId};
+use mmsb_netsim::NetworkModel;
+use mmsb_rand::Xoshiro256PlusPlus;
 use std::sync::{Arc, RwLock};
+
+/// Mini-batch vertices per load/compute chunk in the worker threads —
+/// the granularity at which the prefetching reader overlaps store reads
+/// with `update_phi` compute.
+const CHUNK_VERTICES: usize = 16;
 
 /// Result of a threaded training run.
 #[derive(Debug)]
@@ -50,7 +58,12 @@ pub struct ThreadedOutcome {
 ///
 /// Spawns `workers` OS threads plus uses the calling thread as the
 /// master; runs `iterations` iterations, evaluating held-out perplexity
-/// every `perplexity_every` iterations (0 = never).
+/// every `perplexity_every` iterations (0 = never). `pipeline` selects
+/// how each worker loads `pi`: [`PipelineMode::Single`] reads
+/// synchronously; [`PipelineMode::Double`] overlaps the next chunk's
+/// store read with the current chunk's compute on a per-worker
+/// background thread — same chunks, same delivery order, bitwise-equal
+/// chain.
 pub fn train_threaded(
     graph: Graph,
     heldout: HeldOut,
@@ -58,6 +71,7 @@ pub fn train_threaded(
     workers: usize,
     iterations: u64,
     perplexity_every: u64,
+    pipeline: PipelineMode,
 ) -> Result<ThreadedOutcome, CoreError> {
     if workers == 0 {
         return Err(CoreError::InvalidConfig {
@@ -95,7 +109,7 @@ pub fn train_threaded(
         let heldout = Arc::clone(&heldout_shared);
         let cfg = engine.config.clone();
         handles.push(std::thread::spawn(move || {
-            worker_loop(ep, store, heldout, cfg, n, workers, iterations)
+            worker_loop(ep, store, heldout, cfg, n, workers, iterations, pipeline)
         }));
     }
 
@@ -197,6 +211,7 @@ fn split<T>(items: &[T], parts: usize) -> Vec<&[T]> {
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     ep: Endpoint,
     store: Arc<RwLock<ShardedStore>>,
@@ -205,11 +220,29 @@ fn worker_loop(
     n: u32,
     workers: usize,
     iterations: u64,
+    pipeline: PipelineMode,
 ) -> Result<(), CoreError> {
     let k = config.k;
     let row_len = k + 1;
     let w = ep.rank() - 1; // worker index (0-based)
     let neighbor_sampler = NeighborSampler::new(n, config.neighbor_sample);
+
+    // Chunked-load machinery, persistent across iterations: the reader
+    // scratch (row ping-pong buffers, timing vectors), the key/segment
+    // staging, and — in Double mode — the prefetching reader whose
+    // background thread lives as long as this worker. The cost model fed
+    // to the readers only prices the modeled makespan, which this driver
+    // ignores (it measures real wall-clock); any model works.
+    let net = NetworkModel::fdr_infiniband();
+    let mut scratch = ReaderScratch::new();
+    let sync_reader = ChunkedReader::new(CHUNK_VERTICES, PipelineMode::Single);
+    let mut prefetch = match pipeline {
+        PipelineMode::Single => None,
+        PipelineMode::Double => Some(PrefetchingReader::new(CHUNK_VERTICES)),
+    };
+    let mut keys_buf: Vec<u32> = Vec::new();
+    let mut seg_lens: Vec<usize> = Vec::new();
+    let mut linked_buf: Vec<bool> = Vec::new();
 
     for t in 0..iterations {
         // ---- receive this iteration's share ----
@@ -235,33 +268,67 @@ fn worker_loop(
             eps: config.step.at(t),
         };
 
-        // ---- update_phi: one-sided reads, local compute ----
+        // ---- update_phi: one-sided chunked reads, local compute ----
+        // Neighbor sets are sampled up front (each vertex owns its RNG
+        // stream, so sampling order is immaterial); the rows for a whole
+        // vertex chunk are then loaded in one batched read, optionally
+        // prefetched a chunk ahead of the compute.
         let mut updates: Vec<(u32, Vec<f64>)> = Vec::with_capacity(ids.len());
         {
+            let mut per_vertex: Vec<(u32, Vec<VertexId>, Xoshiro256PlusPlus)> = ids
+                .iter()
+                .map(|&v| {
+                    let mut rng = crate::rngs::vertex_rng(config.seed, t, v);
+                    let ns = neighbor_sampler.sample(VertexId(v), Some(&heldout), &mut rng);
+                    (v, ns, rng)
+                })
+                .collect();
+            keys_buf.clear();
+            seg_lens.clear();
+            for chunk in per_vertex.chunks(CHUNK_VERTICES) {
+                // Keys: own row then neighbor rows, per vertex.
+                let before = keys_buf.len();
+                for (v, ns, _) in chunk.iter() {
+                    keys_buf.push(*v);
+                    keys_buf.extend(ns.iter().map(|b| b.0));
+                }
+                seg_lens.push(keys_buf.len() - before);
+            }
             let store = store.read().expect("store lock poisoned");
-            for (i, &v) in ids.iter().enumerate() {
-                let a = VertexId(v);
-                let mut rng = crate::rngs::vertex_rng(config.seed, t, v);
-                let ns = neighbor_sampler.sample(a, Some(&heldout), &mut rng);
-                let mut keys = Vec::with_capacity(1 + ns.len());
-                keys.push(v);
-                keys.extend(ns.iter().map(|b| b.0));
-                let mut buf = vec![0.0f32; keys.len() * row_len];
-                store.read_batch(&keys, &mut buf)?;
-                let linked: Vec<bool> = ns
-                    .iter()
-                    .map(|b| adjacency[i].binary_search(&b.0).is_ok())
-                    .collect();
-                let (_, phi) = phi_update_from_dkv_rows(
-                    &params,
-                    &beta,
-                    a,
-                    &buf[..row_len],
-                    &RowView::new(&buf[row_len..], row_len),
-                    &linked,
-                    &mut rng,
-                );
-                updates.push((v, phi));
+            let mut vi = 0usize;
+            let adjacency = &adjacency;
+            let linked = &mut linked_buf;
+            let on_chunk = |_start: usize, chunk_keys: &[u32], rows: &[f32]| {
+                let mut offset = 0usize;
+                while offset < chunk_keys.len() {
+                    let (v, ns, rng) = &mut per_vertex[vi];
+                    let own = &rows[offset * row_len..(offset + 1) * row_len];
+                    let nrows =
+                        &rows[(offset + 1) * row_len..(offset + 1 + ns.len()) * row_len];
+                    linked.clear();
+                    linked.extend(ns.iter().map(|b| adjacency[vi].binary_search(&b.0).is_ok()));
+                    let (_, phi) = phi_update_from_dkv_rows(
+                        &params,
+                        &beta,
+                        VertexId(*v),
+                        own,
+                        &RowView::new(nrows, row_len),
+                        linked,
+                        rng,
+                    );
+                    updates.push((*v, phi));
+                    offset += 1 + ns.len();
+                    vi += 1;
+                }
+            };
+            match &mut prefetch {
+                Some(reader) => {
+                    reader.run_segments(&store, w, &keys_buf, &seg_lens, &net, &mut scratch, on_chunk)?;
+                }
+                None => {
+                    sync_reader
+                        .run_segments(&store, w, &keys_buf, &seg_lens, &net, &mut scratch, on_chunk)?;
+                }
             }
         }
         ep.barrier(); // memory-consistency barrier before update_pi
@@ -376,7 +443,7 @@ mod tests {
             DistributedSampler::new(g.clone(), h.clone(), config(), DistributedConfig::das5(3))
                 .unwrap();
         lockstep.run(8);
-        let threaded = train_threaded(g, h, config(), 3, 8, 0).unwrap();
+        let threaded = train_threaded(g, h, config(), 3, 8, 0, PipelineMode::Double).unwrap();
         for a in 0..threaded.state.n() {
             assert_eq!(
                 lockstep.state().pi_row(a),
@@ -394,8 +461,8 @@ mod tests {
     #[test]
     fn worker_count_does_not_change_threaded_numerics() {
         let (g, h) = setup(2);
-        let a = train_threaded(g.clone(), h.clone(), config(), 2, 6, 0).unwrap();
-        let b = train_threaded(g, h, config(), 5, 6, 0).unwrap();
+        let a = train_threaded(g.clone(), h.clone(), config(), 2, 6, 0, PipelineMode::Single).unwrap();
+        let b = train_threaded(g, h, config(), 5, 6, 0, PipelineMode::Double).unwrap();
         for v in 0..a.state.n() {
             assert_eq!(a.state.pi_row(v), b.state.pi_row(v), "vertex {v}");
         }
@@ -412,7 +479,7 @@ mod tests {
     #[test]
     fn perplexity_trace_is_recorded_and_finite() {
         let (g, h) = setup(3);
-        let out = train_threaded(g, h, config(), 3, 9, 3).unwrap();
+        let out = train_threaded(g, h, config(), 3, 9, 3, PipelineMode::Double).unwrap();
         assert_eq!(out.perplexity_trace.len(), 3);
         assert_eq!(out.perplexity_trace[0].0, 3);
         assert_eq!(out.perplexity_trace[2].0, 9);
@@ -424,8 +491,8 @@ mod tests {
     #[test]
     fn rejects_bad_configs() {
         let (g, h) = setup(4);
-        assert!(train_threaded(g.clone(), h.clone(), config(), 0, 1, 0).is_err());
+        assert!(train_threaded(g.clone(), h.clone(), config(), 0, 1, 0, PipelineMode::Single).is_err());
         let full = config().with_layout(StateLayout::FullPhi);
-        assert!(train_threaded(g, h, full, 2, 1, 0).is_err());
+        assert!(train_threaded(g, h, full, 2, 1, 0, PipelineMode::Single).is_err());
     }
 }

@@ -1,10 +1,12 @@
 //! Pins the zero-allocation steady-state contract: after warmup, a
-//! [`ParallelSampler`] `step()` must never touch the heap. Every
-//! per-iteration buffer is pre-reserved at its hard upper bound
-//! (`Engine::new`, `StepBuffers::new`, `Workspace::new`), the pool
-//! publishes jobs as a `Copy` struct, and the mini-batch/neighbor
-//! machinery reuses its vectors — so the counter below must stay at
-//! exactly zero.
+//! [`ParallelSampler`] `step()` must never touch the heap — and neither
+//! may a warmed double-buffered [`PrefetchingReader`] pass (the pipelined
+//! `pi` load path of the distributed samplers). Every per-iteration
+//! buffer is pre-reserved at its hard upper bound (`Engine::new`,
+//! `StepBuffers::new`, `Workspace::new`, `ReaderScratch`), the pool and
+//! the background worker publish tasks as unboxed pointer pairs, and the
+//! mini-batch/neighbor machinery reuses its vectors — so the counter
+//! below must stay at exactly zero.
 //!
 //! This file holds a single test on purpose: the counting allocator is
 //! process-global, and a concurrently running test would pollute the
@@ -14,8 +16,11 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use mmsb_core::{ParallelSampler, SamplerConfig};
+use mmsb_dkv::pipeline::{PrefetchingReader, ReaderScratch};
+use mmsb_dkv::{DkvStore, Partition, ShardedStore};
 use mmsb_graph::generate::planted::{generate_planted, PlantedConfig};
 use mmsb_graph::heldout::HeldOut;
+use mmsb_netsim::NetworkModel;
 use mmsb_rand::Xoshiro256PlusPlus;
 
 /// Wraps [`System`], counting allocations and reallocations (not frees:
@@ -90,5 +95,45 @@ fn steady_state_step_is_allocation_free() {
     assert_eq!(
         n, 0,
         "steady-state step() hit the allocator {n} times over 40 iterations"
+    );
+
+    // ---- pipelined path: a warmed PrefetchingReader pass ----
+    // The real double-buffered loader must also be allocation-free once
+    // warm: the ping-pong row buffers, timing vectors, and chunk table
+    // live in the ReaderScratch, and the background worker receives its
+    // task as an unboxed pointer pair. The counter is process-global, so
+    // any allocation on the prefetch thread would be caught too.
+    let row_len = 9;
+    let mut store = ShardedStore::new(Partition::new(512, 4), row_len);
+    let keys: Vec<u32> = (0..512).collect();
+    let vals = vec![1.0f32; keys.len() * row_len];
+    store.write_batch(&keys, &vals).unwrap();
+    let net = NetworkModel::fdr_infiniband();
+    let mut reader = PrefetchingReader::new(64);
+    let mut scratch = ReaderScratch::new();
+    let mut acc = 0.0f64;
+    for _ in 0..5 {
+        reader
+            .run(&store, 0, &keys, &net, &mut scratch, |_, _, rows| {
+                acc += rows[0] as f64;
+            })
+            .unwrap();
+    }
+
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..20 {
+        reader
+            .run(&store, 0, &keys, &net, &mut scratch, |_, _, rows| {
+                acc += rows[0] as f64;
+            })
+            .unwrap();
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    assert!(acc > 0.0);
+
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        n, 0,
+        "warmed prefetching reader hit the allocator {n} times over 20 passes"
     );
 }

@@ -15,8 +15,11 @@
 //! * [`LocalStore`] — single-node backing (the vertical-scaling baseline),
 //! * [`ShardedStore`] — per-rank shards with modeled RDMA cost accounting
 //!   ([`ShardedStore::read_cost`]), the distributed configuration,
-//! * [`pipeline`] — the double-buffered chunked reader that overlaps
-//!   loading `pi` with compute (paper §III-D, Figure 3, Table III).
+//! * [`pipeline`] — chunked readers that overlap loading `pi` with
+//!   compute (paper §III-D, Figure 3, Table III): the synchronous
+//!   [`pipeline::ChunkedReader`] (overlap *modeled* by
+//!   [`pipeline::schedule`]) and the real [`pipeline::PrefetchingReader`]
+//!   (overlap *measured*, double-buffered on a background worker).
 //!
 //! Data movement is performed for real (rows are copied through the store
 //! on every access); only the *wire time* is modeled, by `mmsb-netsim`.

@@ -1,19 +1,30 @@
 //! Double-buffered (pipelined) chunked reads.
 //!
 //! Loading `pi` from the DKV store dominates `update_phi` (Table III: 205
-//! of 285 ms). The paper hides part of that latency by splitting the load
-//! into chunks and fetching chunk `i+1` while computing on chunk `i`
-//! (§III-D). This module provides:
+//! of 285 ms). The paper hides that latency by splitting the load into
+//! chunks and fetching chunk `i+1` while computing on chunk `i` (§III-D).
+//! This module provides both the *model* and the *mechanism*:
 //!
 //! * [`schedule`] — the pure timing algebra of a two-stage pipeline, used
 //!   by the simulator and verified against hand-computed cases,
-//! * [`ChunkedReader`] — an executor that performs the real chunked reads
-//!   and compute calls, measures the compute, prices the loads with the
-//!   store's cost model, and reports both the pipelined and sequential
-//!   makespans. Numerics are identical in both modes; only time differs.
+//! * [`ChunkedReader`] — the synchronous executor: real chunked reads and
+//!   compute calls, loads priced with the store's cost model, computes
+//!   measured, makespan reported under the configured [`PipelineMode`],
+//! * [`PrefetchingReader`] — the real pipeline: two pre-sized row buffers
+//!   ping-pong, and while the compute callback runs on buffer A's chunk a
+//!   [`BackgroundWorker`] fills buffer B from the store. It returns the
+//!   *measured* overlapped wall-clock alongside the modeled makespan, so
+//!   netsim figures stay comparable.
+//!
+//! Numerics are identical across every reader and mode: chunk boundaries
+//! and delivery order never change, only *when* the bytes are copied.
+//! Both readers borrow their buffers from a caller-owned [`ReaderScratch`]
+//! so steady-state operation performs no heap allocation (pinned by
+//! `crates/core/tests/zero_alloc.rs`).
 
 use crate::{DkvError, DkvStore, ShardedStore};
 use mmsb_netsim::NetworkModel;
+use mmsb_pool::BackgroundWorker;
 use std::time::Instant;
 
 /// Buffering mode for the `pi` loader.
@@ -69,11 +80,118 @@ pub struct PipelineRun {
     pub chunks: usize,
 }
 
-/// Chunked reader over a [`ShardedStore`].
+const EMPTY_RUN: PipelineRun = PipelineRun {
+    total: 0.0,
+    load: 0.0,
+    compute: 0.0,
+    chunks: 0,
+};
+
+/// Result of one *real* prefetched pass ([`PrefetchingReader`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchRun {
+    /// The modeled double-buffered makespan (same algebra as
+    /// [`ChunkedReader`] under [`PipelineMode::Double`]), kept so netsim
+    /// figures remain comparable across modes.
+    pub modeled: PipelineRun,
+    /// Measured overlapped wall-clock of the whole pass, in seconds —
+    /// loads genuinely hidden behind computes.
+    pub wall: f64,
+}
+
+/// Reusable buffers for [`ChunkedReader`] and [`PrefetchingReader`].
+///
+/// Owns the ping-pong row buffers, the per-chunk timing vectors, the
+/// dedup scratch, and the chunk-boundary table. All storage grows to the
+/// high-water mark on first use and is reused afterwards, so a warmed
+/// reader performs zero heap allocations per pass.
+#[derive(Debug, Default)]
+pub struct ReaderScratch {
+    /// Ping-pong row buffers; the synchronous reader uses only `bufs[0]`.
+    bufs: [Vec<f32>; 2],
+    /// Modeled per-chunk load times (seconds).
+    loads: Vec<f64>,
+    /// Measured per-chunk compute times (seconds).
+    computes: Vec<f64>,
+    /// Sorted-deduplicated chunk keys, for `dedup_reads` cost pricing.
+    unique: Vec<u32>,
+    /// Exclusive end offset (into the key slice) of each chunk.
+    ends: Vec<usize>,
+}
+
+impl ReaderScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Chunk boundaries for fixed-size chunking of `n_keys` keys.
+    fn fill_ends_fixed(&mut self, n_keys: usize, chunk_size: usize) {
+        self.ends.clear();
+        let mut pos = 0;
+        while pos < n_keys {
+            pos = (pos + chunk_size).min(n_keys);
+            self.ends.push(pos);
+        }
+    }
+
+    /// Chunk boundaries from caller-provided per-chunk key counts.
+    fn fill_ends_segments(&mut self, seg_lens: &[usize], n_keys: usize) {
+        self.ends.clear();
+        let mut pos = 0;
+        for &len in seg_lens {
+            assert!(len > 0, "empty segment");
+            pos += len;
+            self.ends.push(pos);
+        }
+        assert_eq!(pos, n_keys, "segments must cover the key slice exactly");
+    }
+
+    /// Largest chunk, in keys, of the current boundary table.
+    fn max_chunk_keys(&self) -> usize {
+        let mut max = 0;
+        let mut start = 0;
+        for &end in &self.ends {
+            max = max.max(end - start);
+            start = end;
+        }
+        max
+    }
+}
+
+/// Modeled RDMA cost of reading `chunk` as `rank`, optionally priced per
+/// *distinct* key (the `dedup_reads` optimization: a chunk that needs the
+/// same row twice issues one read and reuses the bytes).
+fn chunk_cost(
+    store: &ShardedStore,
+    rank: usize,
+    chunk: &[u32],
+    net: &NetworkModel,
+    dedup: bool,
+    unique: &mut Vec<u32>,
+) -> f64 {
+    if dedup {
+        unique.clear();
+        unique.extend_from_slice(chunk);
+        unique.sort_unstable();
+        unique.dedup();
+        store.read_cost(rank, unique, net)
+    } else {
+        store.read_cost(rank, chunk, net)
+    }
+}
+
+/// Synchronous chunked reader over a [`ShardedStore`].
+///
+/// Executes loads and computes back-to-back; the pipelined makespan under
+/// [`PipelineMode::Double`] is *modeled* after the fact with [`schedule`].
+/// For a real overlapped execution use [`PrefetchingReader`].
 #[derive(Debug, Clone, Copy)]
 pub struct ChunkedReader {
     chunk_size: usize,
     mode: PipelineMode,
+    dedup: bool,
+    compute_scale: f64,
 }
 
 impl ChunkedReader {
@@ -83,7 +201,26 @@ impl ChunkedReader {
     /// Panics if `chunk_size == 0`.
     pub fn new(chunk_size: usize, mode: PipelineMode) -> Self {
         assert!(chunk_size > 0, "chunk size must be positive");
-        Self { chunk_size, mode }
+        Self {
+            chunk_size,
+            mode,
+            dedup: false,
+            compute_scale: 1.0,
+        }
+    }
+
+    /// Price each chunk per distinct key (`dedup_reads`) when `true`.
+    pub fn with_dedup_reads(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Multiply measured per-chunk compute times by `scale` before they
+    /// enter the makespan model — the hook for per-node thread-parallelism
+    /// models that shrink the serial measurement.
+    pub fn with_compute_scale(mut self, scale: f64) -> Self {
+        self.compute_scale = scale;
+        self
     }
 
     /// The configured mode.
@@ -108,28 +245,286 @@ impl ChunkedReader {
         rank: usize,
         keys: &[u32],
         net: &NetworkModel,
+        scratch: &mut ReaderScratch,
+        compute: F,
+    ) -> Result<PipelineRun, DkvError>
+    where
+        F: FnMut(usize, &[u32], &[f32]),
+    {
+        scratch.fill_ends_fixed(keys.len(), self.chunk_size);
+        self.run_inner(store, rank, keys, net, scratch, compute)
+    }
+
+    /// Like [`ChunkedReader::run`], but with caller-defined chunk
+    /// boundaries: `seg_lens[i]` keys in chunk `i` (summing to
+    /// `keys.len()`). Used by the samplers, which chunk by *vertices* and
+    /// therefore produce a variable number of keys per chunk.
+    #[allow(clippy::too_many_arguments)] // mirrors `run` plus the boundary table
+    pub fn run_segments<F>(
+        &self,
+        store: &ShardedStore,
+        rank: usize,
+        keys: &[u32],
+        seg_lens: &[usize],
+        net: &NetworkModel,
+        scratch: &mut ReaderScratch,
+        compute: F,
+    ) -> Result<PipelineRun, DkvError>
+    where
+        F: FnMut(usize, &[u32], &[f32]),
+    {
+        scratch.fill_ends_segments(seg_lens, keys.len());
+        self.run_inner(store, rank, keys, net, scratch, compute)
+    }
+
+    fn run_inner<F>(
+        &self,
+        store: &ShardedStore,
+        rank: usize,
+        keys: &[u32],
+        net: &NetworkModel,
+        scratch: &mut ReaderScratch,
         mut compute: F,
     ) -> Result<PipelineRun, DkvError>
     where
         F: FnMut(usize, &[u32], &[f32]),
     {
         let row_len = store.row_len();
-        let mut buf = vec![0.0f32; self.chunk_size * row_len];
-        let mut loads = Vec::new();
-        let mut computes = Vec::new();
-        for (ci, chunk) in keys.chunks(self.chunk_size).enumerate() {
+        let max_chunk = scratch.max_chunk_keys();
+        let ReaderScratch {
+            bufs,
+            loads,
+            computes,
+            unique,
+            ends,
+            ..
+        } = scratch;
+        let buf = &mut bufs[0];
+        if buf.len() < max_chunk * row_len {
+            buf.resize(max_chunk * row_len, 0.0);
+        }
+        loads.clear();
+        computes.clear();
+        let mut start = 0;
+        for &end in ends.iter() {
+            let chunk = &keys[start..end];
             let rows = &mut buf[..chunk.len() * row_len];
             store.read_batch(chunk, rows)?;
-            loads.push(store.read_cost(rank, chunk, net));
+            loads.push(chunk_cost(store, rank, chunk, net, self.dedup, unique));
             let t0 = Instant::now();
-            compute(ci * self.chunk_size, chunk, rows);
-            computes.push(t0.elapsed().as_secs_f64());
+            compute(start, chunk, rows);
+            computes.push(t0.elapsed().as_secs_f64() * self.compute_scale);
+            start = end;
         }
         Ok(PipelineRun {
-            total: schedule(&loads, &computes, self.mode),
+            total: schedule(loads, computes, self.mode),
             load: loads.iter().sum(),
             compute: computes.iter().sum(),
             chunks: loads.len(),
+        })
+    }
+}
+
+/// Waits out an in-flight background load if the compute callback panics,
+/// so the task's borrows (the back buffer, the key slice) are never
+/// outlived. Disarmed with `mem::forget` on the normal path, where
+/// [`BackgroundWorker::join`] is called explicitly to re-throw worker
+/// panics.
+struct WaitGuard<'a>(&'a BackgroundWorker);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        // `wait`, not `join`: re-throwing here would double-panic.
+        let _ = self.0.wait();
+    }
+}
+
+/// The real two-stage prefetch pipeline over a [`ShardedStore`].
+///
+/// Two pre-sized row buffers ping-pong: while the compute callback runs
+/// on the front buffer's chunk, a persistent [`BackgroundWorker`] fills
+/// the back buffer with chunk `i + 1`'s rows. The handoff protocol is
+/// strict `spawn`/`join` alternation — exactly one load in flight, the
+/// buffers swap only after the join — so delivery order, chunk contents,
+/// and therefore all downstream numerics are identical to
+/// [`ChunkedReader`]'s.
+#[derive(Debug)]
+pub struct PrefetchingReader {
+    chunk_size: usize,
+    dedup: bool,
+    compute_scale: f64,
+    worker: BackgroundWorker,
+}
+
+impl PrefetchingReader {
+    /// Create a reader with the given chunk size, spawning its worker.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size == 0`.
+    pub fn new(chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Self {
+            chunk_size,
+            dedup: false,
+            compute_scale: 1.0,
+            worker: BackgroundWorker::new("dkv-prefetch"),
+        }
+    }
+
+    /// Price each chunk per distinct key (`dedup_reads`) when `true`.
+    pub fn with_dedup_reads(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Multiply measured per-chunk compute times by `scale` before they
+    /// enter the *modeled* makespan (the measured wall-clock is reported
+    /// unscaled).
+    pub fn with_compute_scale(mut self, scale: f64) -> Self {
+        self.compute_scale = scale;
+        self
+    }
+
+    /// The configured chunk size (keys per chunk).
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Read `keys` chunk-by-chunk with real load/compute overlap,
+    /// invoking `compute(chunk_start, chunk_keys, rows)` on each chunk.
+    ///
+    /// Chunk `0` is loaded synchronously; from then on chunk `i + 1`
+    /// loads on the background worker while `compute` runs on chunk `i`.
+    pub fn run<F>(
+        &mut self,
+        store: &ShardedStore,
+        rank: usize,
+        keys: &[u32],
+        net: &NetworkModel,
+        scratch: &mut ReaderScratch,
+        compute: F,
+    ) -> Result<PrefetchRun, DkvError>
+    where
+        F: FnMut(usize, &[u32], &[f32]),
+    {
+        scratch.fill_ends_fixed(keys.len(), self.chunk_size);
+        self.run_inner(store, rank, keys, net, scratch, compute)
+    }
+
+    /// Like [`PrefetchingReader::run`], but with caller-defined chunk
+    /// boundaries (see [`ChunkedReader::run_segments`]).
+    #[allow(clippy::too_many_arguments)] // mirrors `run` plus the boundary table
+    pub fn run_segments<F>(
+        &mut self,
+        store: &ShardedStore,
+        rank: usize,
+        keys: &[u32],
+        seg_lens: &[usize],
+        net: &NetworkModel,
+        scratch: &mut ReaderScratch,
+        compute: F,
+    ) -> Result<PrefetchRun, DkvError>
+    where
+        F: FnMut(usize, &[u32], &[f32]),
+    {
+        scratch.fill_ends_segments(seg_lens, keys.len());
+        self.run_inner(store, rank, keys, net, scratch, compute)
+    }
+
+    fn run_inner<F>(
+        &mut self,
+        store: &ShardedStore,
+        rank: usize,
+        keys: &[u32],
+        net: &NetworkModel,
+        scratch: &mut ReaderScratch,
+        mut compute: F,
+    ) -> Result<PrefetchRun, DkvError>
+    where
+        F: FnMut(usize, &[u32], &[f32]),
+    {
+        let row_len = store.row_len();
+        let max_chunk = scratch.max_chunk_keys();
+        let ReaderScratch {
+            bufs,
+            loads,
+            computes,
+            unique,
+            ends,
+            ..
+        } = scratch;
+        loads.clear();
+        computes.clear();
+        let n = ends.len();
+        if n == 0 {
+            return Ok(PrefetchRun {
+                modeled: EMPTY_RUN,
+                wall: 0.0,
+            });
+        }
+        let (front_buf, back_buf) = bufs.split_at_mut(1);
+        let mut front: &mut Vec<f32> = &mut front_buf[0];
+        let mut back: &mut Vec<f32> = &mut back_buf[0];
+        if front.len() < max_chunk * row_len {
+            front.resize(max_chunk * row_len, 0.0);
+        }
+        if back.len() < max_chunk * row_len {
+            back.resize(max_chunk * row_len, 0.0);
+        }
+
+        let wall0 = Instant::now();
+        // Chunk 0 has nothing to hide behind: load it synchronously.
+        let first = &keys[..ends[0]];
+        store.read_batch(first, &mut front[..first.len() * row_len])?;
+        loads.push(chunk_cost(store, rank, first, net, self.dedup, unique));
+
+        let mut start = 0;
+        for ci in 0..n {
+            let end = ends[ci];
+            let chunk = &keys[start..end];
+            let mut prefetch_result: Result<(), DkvError> = Ok(());
+            {
+                // Publish the next chunk's load before computing on the
+                // current one. The closure borrows `back`, `keys`, and
+                // `prefetch_result`; all outlive the join below (and the
+                // WaitGuard covers a panicking compute callback).
+                let mut slot = if ci + 1 < n {
+                    let next_chunk = &keys[end..ends[ci + 1]];
+                    loads.push(chunk_cost(store, rank, next_chunk, net, self.dedup, unique));
+                    let dst = &mut back[..next_chunk.len() * row_len];
+                    let result = &mut prefetch_result;
+                    Some(move || {
+                        *result = store.read_batch(next_chunk, dst);
+                    })
+                } else {
+                    None
+                };
+                if slot.is_some() {
+                    // SAFETY: `slot` and everything the closure borrows
+                    // live until `join()` below returns; the WaitGuard
+                    // waits out the task if `compute` unwinds first.
+                    unsafe { self.worker.spawn(&mut slot) };
+                }
+                let guard = WaitGuard(&self.worker);
+                let t0 = Instant::now();
+                compute(start, chunk, &front[..chunk.len() * row_len]);
+                computes.push(t0.elapsed().as_secs_f64() * self.compute_scale);
+                std::mem::forget(guard);
+                self.worker.join();
+            }
+            prefetch_result?;
+            std::mem::swap(&mut front, &mut back);
+            start = end;
+        }
+        let wall = wall0.elapsed().as_secs_f64();
+        Ok(PrefetchRun {
+            modeled: PipelineRun {
+                total: schedule(loads, computes, PipelineMode::Double),
+                load: loads.iter().sum(),
+                compute: computes.iter().sum(),
+                chunks: n,
+            },
+            wall,
         })
     }
 }
@@ -222,9 +617,10 @@ mod tests {
         let net = NetworkModel::fdr_infiniband();
         let keys: Vec<u32> = (0..10).collect();
         let reader = ChunkedReader::new(4, PipelineMode::Double);
+        let mut scratch = ReaderScratch::new();
         let mut seen: Vec<(usize, Vec<u32>, Vec<f32>)> = Vec::new();
         let run = reader
-            .run(&store, 0, &keys, &net, |start, ks, rows| {
+            .run(&store, 0, &keys, &net, &mut scratch, |start, ks, rows| {
                 seen.push((start, ks.to_vec(), rows.to_vec()));
             })
             .unwrap();
@@ -243,12 +639,13 @@ mod tests {
         let store = test_store(8);
         let net = NetworkModel::fdr_infiniband();
         let keys: Vec<u32> = (0..64).collect();
+        let mut scratch = ReaderScratch::new();
         let mut sums = Vec::new();
         for mode in [PipelineMode::Single, PipelineMode::Double] {
             let reader = ChunkedReader::new(8, mode);
             let mut sum = 0.0f64;
             let run = reader
-                .run(&store, 0, &keys, &net, |_, _, rows| {
+                .run(&store, 0, &keys, &net, &mut scratch, |_, _, rows| {
                     sum += rows.iter().map(|&x| x as f64).sum::<f64>();
                     // Busy work so compute time is non-trivial relative to
                     // the modeled load times.
@@ -270,15 +667,236 @@ mod tests {
         let store = test_store(2);
         let net = NetworkModel::fdr_infiniband();
         let reader = ChunkedReader::new(4, PipelineMode::Single);
+        let mut scratch = ReaderScratch::new();
         let err = reader
-            .run(&store, 0, &[1000], &net, |_, _, _| {})
+            .run(&store, 0, &[1000], &net, &mut scratch, |_, _, _| {})
             .unwrap_err();
         assert!(matches!(err, DkvError::KeyOutOfRange { .. }));
+    }
+
+    #[test]
+    fn reader_segments_follow_caller_boundaries() {
+        let store = test_store(4);
+        let net = NetworkModel::fdr_infiniband();
+        let keys: Vec<u32> = (0..10).collect();
+        let reader = ChunkedReader::new(4, PipelineMode::Single);
+        let mut scratch = ReaderScratch::new();
+        let mut seen: Vec<(usize, Vec<u32>)> = Vec::new();
+        let run = reader
+            .run_segments(
+                &store,
+                0,
+                &keys,
+                &[3, 1, 6],
+                &net,
+                &mut scratch,
+                |start, ks, _| {
+                    seen.push((start, ks.to_vec()));
+                },
+            )
+            .unwrap();
+        assert_eq!(run.chunks, 3);
+        assert_eq!(seen[0], (0, vec![0, 1, 2]));
+        assert_eq!(seen[1], (3, vec![3]));
+        assert_eq!(seen[2], (4, vec![4, 5, 6, 7, 8, 9]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the key slice")]
+    fn reader_segments_must_cover_keys() {
+        let store = test_store(4);
+        let net = NetworkModel::fdr_infiniband();
+        let reader = ChunkedReader::new(4, PipelineMode::Single);
+        let mut scratch = ReaderScratch::new();
+        let _ = reader.run_segments(
+            &store,
+            0,
+            &[0, 1, 2],
+            &[2],
+            &net,
+            &mut scratch,
+            |_, _, _| {},
+        );
+    }
+
+    /// `dedup_reads` cost pinning: duplicate keys in a chunk are priced
+    /// as one RDMA read per *distinct* key when enabled, per occurrence
+    /// when disabled — and the delivered rows are identical either way.
+    #[test]
+    fn dedup_reads_prices_distinct_keys_and_delivers_identical_rows() {
+        let store = test_store(4);
+        let net = NetworkModel::fdr_infiniband();
+        // 8 occurrences, 4 distinct keys, one chunk.
+        let keys: Vec<u32> = vec![5, 7, 5, 9, 7, 11, 9, 5];
+        let distinct: Vec<u32> = vec![5, 7, 9, 11];
+        let mut scratch = ReaderScratch::new();
+        let mut rows_by_mode: Vec<Vec<f32>> = Vec::new();
+        let mut load_by_mode: Vec<f64> = Vec::new();
+        for dedup in [false, true] {
+            let reader =
+                ChunkedReader::new(keys.len(), PipelineMode::Single).with_dedup_reads(dedup);
+            let mut rows_seen = Vec::new();
+            let run = reader
+                .run(&store, 0, &keys, &net, &mut scratch, |_, _, rows| {
+                    rows_seen.extend_from_slice(rows);
+                })
+                .unwrap();
+            rows_by_mode.push(rows_seen);
+            load_by_mode.push(run.load);
+        }
+        assert_eq!(
+            rows_by_mode[0], rows_by_mode[1],
+            "dedup pricing must not change delivered rows"
+        );
+        // Every occurrence is still delivered (8 rows of 2 floats).
+        assert_eq!(rows_by_mode[0].len(), keys.len() * 2);
+        // Cost pinning: disabled prices per occurrence, enabled per
+        // distinct key — exactly the cost model evaluated on those sets.
+        assert_eq!(load_by_mode[0], store.read_cost(0, &keys, &net));
+        assert_eq!(load_by_mode[1], store.read_cost(0, &distinct, &net));
+        assert!(load_by_mode[1] < load_by_mode[0]);
+    }
+
+    #[test]
+    fn prefetching_reader_matches_synchronous_reader() {
+        let store = test_store(8);
+        let net = NetworkModel::fdr_infiniband();
+        let keys: Vec<u32> = (0..64).rev().collect();
+        let mut scratch = ReaderScratch::new();
+
+        let mut sync_seen: Vec<(usize, Vec<u32>, Vec<f32>)> = Vec::new();
+        let sync_run = ChunkedReader::new(8, PipelineMode::Double)
+            .run(&store, 0, &keys, &net, &mut scratch, |start, ks, rows| {
+                sync_seen.push((start, ks.to_vec(), rows.to_vec()));
+            })
+            .unwrap();
+
+        let mut reader = PrefetchingReader::new(8);
+        let mut pre_seen: Vec<(usize, Vec<u32>, Vec<f32>)> = Vec::new();
+        let pre_run = reader
+            .run(&store, 0, &keys, &net, &mut scratch, |start, ks, rows| {
+                pre_seen.push((start, ks.to_vec(), rows.to_vec()));
+            })
+            .unwrap();
+
+        assert_eq!(sync_seen, pre_seen, "prefetching changed delivered data");
+        assert_eq!(pre_run.modeled.chunks, sync_run.chunks);
+        assert_eq!(pre_run.modeled.load, sync_run.load);
+        assert!(pre_run.wall > 0.0);
+    }
+
+    #[test]
+    fn prefetching_reader_is_reusable_across_passes() {
+        let store = test_store(4);
+        let net = NetworkModel::fdr_infiniband();
+        let keys: Vec<u32> = (0..32).collect();
+        let mut reader = PrefetchingReader::new(4);
+        let mut scratch = ReaderScratch::new();
+        let mut sums = Vec::new();
+        for _ in 0..5 {
+            let mut sum = 0.0f64;
+            reader
+                .run(&store, 0, &keys, &net, &mut scratch, |_, _, rows| {
+                    sum += rows.iter().map(|&x| x as f64).sum::<f64>();
+                })
+                .unwrap();
+            sums.push(sum);
+        }
+        assert!(sums.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn prefetching_reader_segments_match_synchronous() {
+        let store = test_store(4);
+        let net = NetworkModel::fdr_infiniband();
+        let keys: Vec<u32> = (0..20).collect();
+        let segs = [7usize, 2, 5, 6];
+        let mut scratch = ReaderScratch::new();
+        let mut sync_seen = Vec::new();
+        ChunkedReader::new(8, PipelineMode::Double)
+            .run_segments(
+                &store,
+                0,
+                &keys,
+                &segs,
+                &net,
+                &mut scratch,
+                |start, ks, rows| {
+                    sync_seen.push((start, ks.to_vec(), rows.to_vec()));
+                },
+            )
+            .unwrap();
+        let mut reader = PrefetchingReader::new(8);
+        let mut pre_seen = Vec::new();
+        reader
+            .run_segments(
+                &store,
+                0,
+                &keys,
+                &segs,
+                &net,
+                &mut scratch,
+                |start, ks, rows| {
+                    pre_seen.push((start, ks.to_vec(), rows.to_vec()));
+                },
+            )
+            .unwrap();
+        assert_eq!(sync_seen, pre_seen);
+    }
+
+    #[test]
+    fn prefetching_reader_propagates_background_load_errors() {
+        let store = test_store(2);
+        let net = NetworkModel::fdr_infiniband();
+        // Chunk 0 is valid; chunk 1 (prefetched in the background)
+        // contains an out-of-range key.
+        let keys: Vec<u32> = vec![0, 1, 1000, 1001];
+        let mut reader = PrefetchingReader::new(2);
+        let mut scratch = ReaderScratch::new();
+        let err = reader
+            .run(&store, 0, &keys, &net, &mut scratch, |_, _, _| {})
+            .unwrap_err();
+        assert!(matches!(err, DkvError::KeyOutOfRange { .. }));
+        // The reader survives the error and works on the next pass.
+        let ok_keys: Vec<u32> = (0..8).collect();
+        reader
+            .run(&store, 0, &ok_keys, &net, &mut scratch, |_, _, _| {})
+            .unwrap();
+    }
+
+    #[test]
+    fn prefetching_reader_survives_compute_panic() {
+        let store = test_store(2);
+        let net = NetworkModel::fdr_infiniband();
+        let keys: Vec<u32> = (0..16).collect();
+        let mut reader = PrefetchingReader::new(4);
+        let mut scratch = ReaderScratch::new();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = reader.run(&store, 0, &keys, &net, &mut scratch, |start, _, _| {
+                if start >= 4 {
+                    panic!("compute boom");
+                }
+            });
+        }))
+        .expect_err("compute panic must propagate");
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"compute boom"));
+        // The worker was waited out by the guard; the reader still works.
+        let mut count = 0;
+        reader
+            .run(&store, 0, &keys, &net, &mut scratch, |_, _, _| count += 1)
+            .unwrap();
+        assert_eq!(count, 4);
     }
 
     #[test]
     #[should_panic(expected = "chunk size")]
     fn zero_chunk_panics() {
         ChunkedReader::new(0, PipelineMode::Single);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_prefetch_panics() {
+        PrefetchingReader::new(0);
     }
 }

@@ -141,6 +141,15 @@ pub struct ShardedStore {
     /// Local (same-rank) memory bandwidth in bytes/s, used to price the
     /// `1/C` of accesses that do not cross the wire.
     local_bandwidth: f64,
+    /// Optional *real* (wall-clock) per-key read latency in seconds.
+    /// Zero by default: `read_batch` returns at memcpy speed and wire
+    /// time is modeled only. When set, `read_batch` blocks for
+    /// `keys.len() * read_latency_per_key` before delivering the rows —
+    /// emulating a remote store whose batched reads are bound by
+    /// per-request network time rather than memory bandwidth. Blocking
+    /// (not spinning) is deliberate: it occupies no CPU, exactly like a
+    /// NIC DMA, so a prefetch thread genuinely overlaps with compute.
+    read_latency_per_key: f64,
 }
 
 impl ShardedStore {
@@ -159,6 +168,7 @@ impl ShardedStore {
             partition,
             row_len,
             local_bandwidth: Self::DEFAULT_LOCAL_BANDWIDTH,
+            read_latency_per_key: 0.0,
         }
     }
 
@@ -166,6 +176,17 @@ impl ShardedStore {
     pub fn with_local_bandwidth(mut self, bytes_per_sec: f64) -> Self {
         assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
         self.local_bandwidth = bytes_per_sec;
+        self
+    }
+
+    /// Make `read_batch` *really* block for `secs` of wall-clock per key
+    /// before delivering the rows, emulating a latency-bound remote
+    /// store. Delivered bytes are unchanged, so training chains are
+    /// unaffected; only wall-clock timing moves. Used by the pipeline
+    /// benchmark to measure genuine load/compute overlap.
+    pub fn with_read_latency_per_key(mut self, secs: f64) -> Self {
+        assert!(secs >= 0.0, "latency must be non-negative");
+        self.read_latency_per_key = secs;
         self
     }
 
@@ -231,6 +252,11 @@ impl DkvStore for ShardedStore {
 
     fn read_batch(&self, keys: &[u32], out: &mut [f32]) -> Result<(), DkvError> {
         validate_batch(self.num_keys(), self.row_len, keys, out.len())?;
+        if self.read_latency_per_key > 0.0 && !keys.is_empty() {
+            std::thread::sleep(std::time::Duration::from_secs_f64(
+                keys.len() as f64 * self.read_latency_per_key,
+            ));
+        }
         for (i, &k) in keys.iter().enumerate() {
             let shard = &self.shards[self.partition.owner(k)];
             let src = self.partition.local_index(k) * self.row_len;
@@ -321,6 +347,26 @@ mod tests {
         // Duplicate *reads* are fine (two neighbors of the same vertex).
         let mut out = vec![0.0; 2];
         s.read_batch(&[1, 1], &mut out).unwrap();
+    }
+
+    /// The simulated-latency knob blocks for real wall-clock but must
+    /// deliver byte-identical rows, so training chains cannot move.
+    #[test]
+    fn read_latency_blocks_but_delivers_identical_rows() {
+        let mut fast = ShardedStore::new(Partition::new(20, 4), 3);
+        let keys: Vec<u32> = (0..20).collect();
+        write_rows(&mut fast, &keys);
+        let slow = fast.clone().with_read_latency_per_key(100e-6);
+
+        let mut a = vec![0.0; 20 * 3];
+        let mut b = vec![0.0; 20 * 3];
+        fast.read_batch(&keys, &mut a).unwrap();
+        let t0 = std::time::Instant::now();
+        slow.read_batch(&keys, &mut b).unwrap();
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(a, b, "latency changed delivered bytes");
+        // 20 keys * 100us = 2ms floor (sleep may overshoot, never under).
+        assert!(elapsed >= 1.9e-3, "read returned too fast: {elapsed}s");
     }
 
     #[test]

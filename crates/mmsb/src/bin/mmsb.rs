@@ -88,8 +88,8 @@ fn main() -> ExitCode {
 
 fn cmd_datasets() -> Result<(), String> {
     println!(
-        "{:<18} {:>14} {:>14} {:>12}   {}",
-        "stand-in", "orig vertices", "orig edges", "divisor", "description"
+        "{:<18} {:>14} {:>14} {:>12}   description",
+        "stand-in", "orig vertices", "orig edges", "divisor"
     );
     for s in standins() {
         println!(
@@ -162,8 +162,8 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         println!(
             "mmsb train [--input FILE | --dataset NAME | generator flags] \
              [--k K] [--iters N] [--driver sequential|parallel|threaded] \
-             [--workers R] [--eval-every N] [--heldout L] [--seed S] \
-             [--threshold T] [--out FILE]"
+             [--workers R] [--pipeline on|off] [--eval-every N] \
+             [--heldout L] [--seed S] [--threshold T] [--out FILE]"
         );
         return Ok(());
     }
@@ -183,6 +183,11 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let threshold: f32 = args.parsed("threshold", (0.5 / k as f64) as f32)?;
     let driver = args.get("driver").unwrap_or("parallel");
     let workers: usize = args.parsed("workers", 4)?;
+    let pipeline = match args.get("pipeline").unwrap_or("on") {
+        "on" => PipelineMode::Double,
+        "off" => PipelineMode::Single,
+        other => return Err(format!("--pipeline expects on/off, got {other:?}")),
+    };
 
     let num_vertices = graph.num_vertices();
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed ^ 0x5EED);
@@ -233,8 +238,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             }
         }
         "threaded" => {
-            let outcome = train_threaded(train, heldout, config, workers, iters, eval_every)
-                .map_err(|e| e.to_string())?;
+            let outcome =
+                train_threaded(train, heldout, config, workers, iters, eval_every, pipeline)
+                    .map_err(|e| e.to_string())?;
             for (it, perplexity) in &outcome.perplexity_trace {
                 println!("iter {it:>7}  perplexity {perplexity:.4}");
             }

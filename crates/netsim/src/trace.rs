@@ -26,11 +26,15 @@ pub enum Phase {
     Perplexity,
     /// Barrier / synchronization waiting time.
     Barrier,
+    /// Measured wall-clock of the real double-buffered load/compute
+    /// overlap (`PrefetchingReader`) — the *measured* counterpart of the
+    /// modeled `LoadPi` + `UpdatePhi` pair.
+    Prefetch,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::DrawMinibatch,
         Phase::DeployMinibatch,
         Phase::SampleNeighbors,
@@ -40,6 +44,7 @@ impl Phase {
         Phase::UpdateBetaTheta,
         Phase::Perplexity,
         Phase::Barrier,
+        Phase::Prefetch,
     ];
 
     /// Human-readable stage name matching the paper's terminology.
@@ -54,6 +59,7 @@ impl Phase {
             Phase::UpdateBetaTheta => "update beta/theta",
             Phase::Perplexity => "perplexity",
             Phase::Barrier => "barrier",
+            Phase::Prefetch => "prefetch (measured)",
         }
     }
 

@@ -1,0 +1,347 @@
+//! A persistent background worker for one-task-at-a-time detached
+//! execution — the primitive behind the real (measured, not modeled)
+//! load/compute overlap in `mmsb-dkv`'s prefetching reader.
+//!
+//! [`ThreadPool`](crate::ThreadPool) answers "fan this loop out and wait";
+//! [`BackgroundWorker`] answers "run this one closure *while I keep
+//! working*, and let me collect it later". Design points:
+//!
+//! * One OS thread, spawned once in [`BackgroundWorker::new`] and joined
+//!   on drop — never a `std::thread::spawn` per task, which would
+//!   allocate (and pay thread-start latency) on every prefetch.
+//! * A task is published as a `(data pointer, trampoline fn)` pair under
+//!   a `Mutex`, exactly like the pool's job publication: the closure
+//!   stays on the caller's side, nothing is boxed, and the steady state
+//!   performs **zero heap allocations** (pinned by
+//!   `crates/core/tests/zero_alloc.rs`).
+//! * The handle is reusable: `spawn` → `join` → `spawn` → … forever, with
+//!   exactly one task in flight at a time. One-at-a-time is a feature:
+//!   double buffering needs exactly one outstanding load, and the
+//!   single-slot protocol needs no queue and therefore no queue
+//!   allocation.
+//! * A panic inside the task is caught on the worker, handed back on
+//!   [`BackgroundWorker::join`] (re-thrown) or [`BackgroundWorker::wait`]
+//!   (returned as a payload), and the worker stays usable.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A published task: an erased pointer to the caller's `Option<F>` slot
+/// plus the monomorphized trampoline that takes and invokes it. `Copy`,
+/// so publication never allocates.
+#[derive(Clone, Copy)]
+struct Task {
+    slot: *mut (),
+    call: unsafe fn(*mut ()),
+}
+
+// The slot pointer refers to an `Option<F>` the caller keeps alive (and
+// does not touch) until `wait`/`join` returns; `F: Send` is enforced by
+// `spawn`'s bound.
+unsafe impl Send for Task {}
+
+struct State {
+    /// The published task, if the worker has not yet picked it up.
+    task: Option<Task>,
+    /// True from publication until the task has finished running.
+    pending: bool,
+    shutdown: bool,
+    /// Panic payload of the last completed task, if it panicked.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// The worker waits here for a task (or shutdown).
+    task_cv: Condvar,
+    /// Callers wait here for the in-flight task to finish.
+    done_cv: Condvar,
+}
+
+/// A persistent one-task-at-a-time background worker thread.
+pub struct BackgroundWorker {
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl BackgroundWorker {
+    /// Spawn the worker thread. `name` labels the OS thread (useful in
+    /// profilers and panic messages).
+    pub fn new(name: &str) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                task: None,
+                pending: false,
+                shutdown: false,
+                panic: None,
+            }),
+            task_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(name.to_string())
+                .spawn(move || worker_loop(&shared))
+                .expect("failed to spawn background worker")
+        };
+        Self {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Hand `slot`'s closure to the worker and return immediately.
+    ///
+    /// The closure is *not* copied or boxed — the worker takes it out of
+    /// `*slot` by pointer. `F: Send` makes the cross-thread handoff of
+    /// the closure's captures sound; the lifetime is the caller's
+    /// responsibility:
+    ///
+    /// # Safety
+    /// * `*slot` must be `Some` and must stay alive and untouched (no
+    ///   reads, writes, moves, or drops) until [`BackgroundWorker::wait`]
+    ///   or [`BackgroundWorker::join`] has returned — including on panic
+    ///   unwind, so callers that can unwind between `spawn` and `join`
+    ///   must wait in a drop guard.
+    /// * Everything the closure borrows must likewise outlive that wait.
+    ///
+    /// # Panics
+    /// Panics if a task is already in flight (the protocol is strictly
+    /// `spawn`/`join` alternation) or if `*slot` is `None`.
+    pub unsafe fn spawn<F: FnOnce() + Send>(&self, slot: &mut Option<F>) {
+        assert!(slot.is_some(), "spawn needs a task in the slot");
+        unsafe fn trampoline<F: FnOnce()>(slot: *mut ()) {
+            let task = unsafe { (*slot.cast::<Option<F>>()).take() };
+            (task.expect("published slot holds a task"))();
+        }
+        let task = Task {
+            slot: (slot as *mut Option<F>).cast(),
+            call: trampoline::<F>,
+        };
+        let mut st = self.shared.state.lock().unwrap();
+        if st.pending {
+            // Drop the guard first so the panic cannot poison the mutex
+            // (the worker must stay usable, including from drop glue).
+            drop(st);
+            panic!("BackgroundWorker::spawn while a task is still in flight");
+        }
+        st.task = Some(task);
+        st.pending = true;
+        st.panic = None;
+        drop(st);
+        self.shared.task_cv.notify_one();
+    }
+
+    /// Block until the in-flight task (if any) has finished, returning
+    /// its panic payload if it panicked. Idle workers return `None`
+    /// immediately, so `wait` is safe to call unconditionally — e.g. from
+    /// a drop guard.
+    pub fn wait(&self) -> Option<Box<dyn Any + Send>> {
+        let mut st = self.shared.state.lock().unwrap();
+        while st.pending {
+            st = self.shared.done_cv.wait(st).unwrap();
+        }
+        st.panic.take()
+    }
+
+    /// [`BackgroundWorker::wait`], re-throwing the task's panic on the
+    /// calling thread (mirroring [`ThreadPool::run`](crate::ThreadPool)).
+    pub fn join(&self) {
+        if let Some(payload) = self.wait() {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Whether no task is currently in flight.
+    pub fn is_idle(&self) -> bool {
+        !self.shared.state.lock().unwrap().pending
+    }
+}
+
+impl Drop for BackgroundWorker {
+    fn drop(&mut self) {
+        // Let an in-flight task finish (its captures may borrow caller
+        // state), then shut the thread down.
+        let _ = self.wait();
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.task_cv.notify_one();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for BackgroundWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackgroundWorker")
+            .field("idle", &self.is_idle())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(task) = st.task.take() {
+                    break task;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.task_cv.wait(st).unwrap();
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (task.call)(task.slot) }));
+        let mut st = shared.state.lock().unwrap();
+        if let Err(payload) = result {
+            st.panic = Some(payload);
+        }
+        st.pending = false;
+        drop(st);
+        shared.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Run `f` on `worker` and wait for it, scoped so the borrow rules
+    /// the unsafe contract demands are trivially met.
+    fn run_one<F: FnOnce() + Send>(worker: &BackgroundWorker, f: F) {
+        let mut slot = Some(f);
+        unsafe { worker.spawn(&mut slot) };
+        worker.join();
+    }
+
+    #[test]
+    fn runs_tasks_and_is_reusable() {
+        let worker = BackgroundWorker::new("bg-test");
+        let counter = AtomicU64::new(0);
+        for i in 0..100u64 {
+            run_one(&worker, || {
+                counter.fetch_add(i + 1, Ordering::Relaxed);
+            });
+            assert!(worker.is_idle());
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100 * 101 / 2);
+    }
+
+    #[test]
+    fn overlaps_with_caller_work() {
+        let worker = BackgroundWorker::new("bg-overlap");
+        let mut out = 0u64;
+        let mut slot = Some(|| {
+            out = 42;
+        });
+        unsafe { worker.spawn(&mut slot) };
+        // The caller is free to do unrelated work here; `out` and `slot`
+        // are untouched until join.
+        let local: u64 = (0..1000).sum();
+        worker.join();
+        let _ = slot; // move the closure away so its borrow of `out` ends
+        assert_eq!(out, 42);
+        assert_eq!(local, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn writes_into_caller_buffer() {
+        let worker = BackgroundWorker::new("bg-buf");
+        let mut buf = vec![0u32; 64];
+        {
+            let dst = &mut buf[..];
+            let mut slot = Some(move || {
+                for (i, b) in dst.iter_mut().enumerate() {
+                    *b = i as u32 * 3;
+                }
+            });
+            unsafe { worker.spawn(&mut slot) };
+            worker.join();
+        }
+        assert!(buf.iter().enumerate().all(|(i, &b)| b == i as u32 * 3));
+    }
+
+    #[test]
+    fn panic_propagates_on_join_and_worker_survives() {
+        let worker = BackgroundWorker::new("bg-panic");
+        for round in 0..3 {
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_one(&worker, || panic!("bg boom {round}"));
+            }))
+            .expect_err("panic must propagate through join");
+            let msg = err.downcast_ref::<String>().expect("string payload");
+            assert_eq!(msg, &format!("bg boom {round}"));
+            // Still fully functional after the panic.
+            let ok = AtomicU64::new(0);
+            run_one(&worker, || {
+                ok.store(7, Ordering::Relaxed);
+            });
+            assert_eq!(ok.load(Ordering::Relaxed), 7);
+        }
+    }
+
+    #[test]
+    fn wait_returns_payload_without_unwinding() {
+        let worker = BackgroundWorker::new("bg-wait");
+        let mut slot = Some(|| panic!("quiet boom"));
+        unsafe { worker.spawn(&mut slot) };
+        let payload = worker.wait().expect("panicked task yields a payload");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"quiet boom"));
+        // A second wait on the now-idle worker is a no-op.
+        assert!(worker.wait().is_none());
+    }
+
+    #[test]
+    fn wait_on_idle_worker_is_immediate() {
+        let worker = BackgroundWorker::new("bg-idle");
+        assert!(worker.is_idle());
+        assert!(worker.wait().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "still in flight")]
+    fn double_spawn_is_rejected() {
+        let worker = BackgroundWorker::new("bg-double");
+        let gate = Mutex::new(());
+        let held = gate.lock().unwrap();
+        let mut a = Some(|| {
+            drop(gate.lock().unwrap());
+        });
+        unsafe { worker.spawn(&mut a) };
+        let mut b = Some(|| {});
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+            worker.spawn(&mut b);
+        }));
+        // Release the first task before re-throwing so drop can join.
+        drop(held);
+        worker.join();
+        if let Err(payload) = result {
+            resume_unwind(payload);
+        }
+    }
+
+    #[test]
+    fn drop_waits_for_inflight_task() {
+        let done = Arc::new(AtomicU64::new(0));
+        {
+            let worker = BackgroundWorker::new("bg-drop");
+            let done = Arc::clone(&done);
+            let mut slot = Some(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                done.store(1, Ordering::SeqCst);
+            });
+            unsafe { worker.spawn(&mut slot) };
+            // Worker dropped with the task still (likely) running; the
+            // slot outlives the drop, so the contract holds.
+            drop(worker);
+            drop(slot);
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

@@ -27,6 +27,15 @@
 //! * A nested `run` from inside a chunk executes inline on the current
 //!   worker, so library code may use the pool without knowing whether it
 //!   is already running on it.
+//!
+//! The crate also provides [`BackgroundWorker`], the fork-join pool's
+//! detached sibling: a persistent one-task-at-a-time worker for real
+//! load/compute overlap (double-buffered prefetch), with the same
+//! zero-allocation publication protocol.
+
+mod background;
+
+pub use background::BackgroundWorker;
 
 use std::any::Any;
 use std::cell::Cell;

@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 gate: the workspace must build and test fully offline — no
-# registry dependencies, no network.
+# Tier-1 gate: the workspace must build, lint clean, and test fully
+# offline — no registry dependencies, no network.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
+cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo test -q --offline
+
+# Pipelining contracts, called out explicitly: Single vs Double bitwise
+# identity and the zero-allocation steady state of the prefetch path.
+# (Both also run as part of the full suite above; naming them here makes
+# a regression in the prefetch pipeline fail loudly and first.)
+cargo test -q --offline -p mmsb-core --test pipeline_determinism
+cargo test -q --offline -p mmsb-core --test zero_alloc
