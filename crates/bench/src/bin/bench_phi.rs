@@ -50,6 +50,7 @@ fn measure(g: &Graph, h: &HeldOut, threads: usize, quick: bool) -> (Measurement,
         min_ns: median_ns,
         samples: 1,
         iters_per_sample: steps,
+        threads,
     };
     // Stratified default: ~anchors strata per step; report per-vertex rate
     // relative to N as a stable cross-run figure.

@@ -133,10 +133,17 @@ fn append_rows(path: &Path, rows: &[Row]) {
         .open(path)
         .expect("open BENCH_pipeline.json for append");
     for r in rows {
+        // `threads` is structurally 2 here: the caller plus the one
+        // background prefetch thread of the double-buffered reader.
         writeln!(
             f,
-            "{{\"suite\":\"bench_pipeline\",\"id\":\"{}\",\"single_ns\":{:.1},\"double_ns\":{:.1},\"overlap_ratio\":{:.4}}}",
-            r.id, r.single_ns, r.double_ns, r.overlap_ratio
+            "{{\"schema\":{},\"suite\":\"bench_pipeline\",\"id\":\"{}\",\"single_ns\":{:.1},\"double_ns\":{:.1},\"overlap_ratio\":{:.4},\"threads\":2,\"host_cores\":{}}}",
+            mmsb_bench::timing::BENCH_SCHEMA,
+            r.id,
+            r.single_ns,
+            r.double_ns,
+            r.overlap_ratio,
+            mmsb_bench::timing::host_cores()
         )
         .expect("append BENCH_pipeline.json");
     }

@@ -6,6 +6,8 @@
 //! configurations documented in DESIGN.md §4; `EXPERIMENTS.md` records
 //! paper-vs-measured for each.
 
+#![forbid(unsafe_code)]
+
 use mmsb::prelude::*;
 use std::io::Write;
 use std::path::PathBuf;
@@ -177,6 +179,9 @@ pub mod timing {
         pub samples: usize,
         /// Calls per batch.
         pub iters_per_sample: u64,
+        /// Worker threads the measured code ran on (1 for inline
+        /// micro-benches; sweep value for pool-scaling harnesses).
+        pub threads: usize,
     }
 
     /// A named suite of measurements (one per bench target).
@@ -266,6 +271,7 @@ pub mod timing {
                 min_ns: per_call[0],
                 samples,
                 iters_per_sample: iters,
+                threads: 1,
             };
             println!(
                 "{:<40} {:>14} /call   ({} samples x {} calls)",
@@ -297,11 +303,32 @@ pub mod timing {
         }
     }
 
+    /// Version tag stamped into every JSON line so trajectory tooling can
+    /// filter comparable runs. Bump when the line shape changes; schema 1
+    /// was the untagged `{suite,id,median_ns,min_ns,samples,
+    /// iters_per_sample}` shape without thread/host fields.
+    pub const BENCH_SCHEMA: u32 = 2;
+
+    /// Logical cores of the host, for the `host_cores` field.
+    pub fn host_cores() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
     /// One JSON object (single line) for a measurement.
     pub fn json_line(suite: &str, m: &Measurement) -> String {
         format!(
-            "{{\"suite\":\"{}\",\"id\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
-            suite, m.id, m.median_ns, m.min_ns, m.samples, m.iters_per_sample
+            "{{\"schema\":{},\"suite\":\"{}\",\"id\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{},\"threads\":{},\"host_cores\":{}}}",
+            BENCH_SCHEMA,
+            suite,
+            m.id,
+            m.median_ns,
+            m.min_ns,
+            m.samples,
+            m.iters_per_sample,
+            m.threads,
+            host_cores()
         )
     }
 
@@ -350,11 +377,15 @@ mod timing_tests {
             min_ns: 11.0,
             samples: 5,
             iters_per_sample: 100,
+            threads: 4,
         };
         let line = json_line("kernels", &m);
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"id\":\"g/n\""));
         assert!(line.contains("\"median_ns\":12.2"));
+        assert!(line.contains("\"schema\":2"));
+        assert!(line.contains("\"threads\":4"));
+        assert!(line.contains("\"host_cores\":"));
     }
 
     #[test]
@@ -369,6 +400,7 @@ mod timing_tests {
             min_ns: 1.0,
             samples: 1,
             iters_per_sample: 1,
+            threads: 1,
         };
         append_json(&path, "s", std::slice::from_ref(&m));
         append_json(&path, "s", &[m]);

@@ -1,0 +1,32 @@
+//! Workspace invariant lint. Run from anywhere in the repo:
+//!
+//! ```text
+//! cargo run -p mmsb-check --bin xlint
+//! ```
+//!
+//! Exits non-zero (printing one `file:line: [rule] message` per
+//! finding) if any unsafe-code invariant is violated; see
+//! `mmsb_check::lint` for the rule set.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // The binary lives at crates/check; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/check has a workspace root two levels up")
+        .to_path_buf();
+    let violations = mmsb_check::lint::lint_workspace(&root);
+    if violations.is_empty() {
+        println!("xlint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("xlint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,529 @@
+//! `xlint`: token-level enforcement of the repo's unsafe-code
+//! invariants. No `syn`, no network — a small hand-rolled lexer strips
+//! comments and string/char literals, and the rules operate on the
+//! remaining code tokens plus the raw source lines (for comment
+//! proximity and attribute checks).
+//!
+//! Rules:
+//!
+//! * **safety-comment** — every `unsafe` block / `unsafe impl` /
+//!   `unsafe trait` / `unsafe fn` must be justified: a `// SAFETY:`
+//!   comment on the same line or within the six preceding lines, or
+//!   (for `unsafe fn`) a `# Safety` section in the contiguous doc
+//!   comment directly above. `unsafe fn(...)` *function-pointer types*
+//!   are exempt — they declare no new obligation site.
+//! * **unsafe-allowlist** — `unsafe` may appear only in the modules
+//!   whose invariants are documented and model-checked:
+//!   `crates/pool/src`, `crates/dkv/src`, `crates/core/src/sampler/
+//!   driver.rs`, `crates/core/tests/zero_alloc.rs`, and the checker's
+//!   own model backend + protocol-port tests (`crates/check/src/model`,
+//!   `crates/check/tests` — they exercise the unsafe publish contract
+//!   under the model scheduler).
+//! * **deny-attr** — every crate whose `src/` uses `unsafe` must carry
+//!   `#![deny(unsafe_op_in_unsafe_fn)]` in its root, and every
+//!   integration-test file (its own crate root) using `unsafe` must
+//!   carry it too.
+//! * **forbid-attr** — the crates that need no unsafe at all must pin
+//!   that with `#![forbid(unsafe_code)]`.
+//! * **std-sync-confinement** — inside `crates/pool/src` and
+//!   `crates/dkv/src`, `std::sync` may be named only in the `sync`
+//!   module (`crates/pool/src/sync/`): all other code must go through
+//!   the `SyncBackend` layer so `mmsb-check` can model it.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates that must carry `#![forbid(unsafe_code)]` in their lib root.
+const FORBID_CRATES: &[&str] = &["rand", "graph", "svi", "comm", "netsim", "bench", "mmsb"];
+
+/// Path prefixes (relative to the repo root, `/`-separated) where
+/// `unsafe` is permitted.
+const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/pool/src",
+    "crates/dkv/src",
+    "crates/core/src/sampler/driver.rs",
+    "crates/core/tests/zero_alloc.rs",
+    "crates/check/src/model",
+    "crates/check/tests",
+];
+
+/// Within these crates, `std::sync` is confined to the sync module.
+const SYNC_CONFINED: &[&str] = &["crates/pool/src", "crates/dkv/src"];
+const SYNC_MODULE: &str = "crates/pool/src/sync";
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Repo-relative, `/`-separated path.
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Tok {
+    line: usize,
+    text: String,
+}
+
+/// Strip comments, strings, chars, and lifetimes; return the remaining
+/// code tokens (identifiers and single-char punctuation) with their
+/// 1-based line numbers.
+fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let at = |i: usize| if i < n { b[i] } else { '\0' };
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c == '/' && at(i + 1) == '/' {
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && at(i + 1) == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && at(i + 1) == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && at(i + 1) == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            i += 1;
+            while i < n {
+                match b[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+        } else if c == '\'' {
+            // Lifetime or char literal. A lifetime is `'ident` NOT
+            // followed by a closing quote (`'a` vs the char `'a'`).
+            if at(i + 1) == '\\' {
+                // Escaped char literal: scan to the closing quote.
+                i += 2;
+                while i < n && b[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+            } else if at(i + 2) == '\'' && at(i + 1) != '\'' {
+                i += 3; // plain char literal like 'x'
+            } else {
+                // Lifetime: skip the tick but keep the identifier as a
+                // token (it is real code, unlike literal contents).
+                i += 1;
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                if i > start {
+                    toks.push(Tok {
+                        line,
+                        text: b[start..i].iter().collect(),
+                    });
+                }
+            }
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            let ident: String = b[start..i].iter().collect();
+            // Raw/byte string prefixes parse as identifiers up to the
+            // quote; detect them here and consume the literal.
+            if (ident == "r" || ident == "b" || ident == "br") && (at(i) == '"' || at(i) == '#') {
+                if ident == "b" && at(i) == '#' {
+                    // `b#` is not a string prefix; emit the ident.
+                    toks.push(Tok { line, text: ident });
+                    continue;
+                }
+                if ident == "b" && at(i) == '"' {
+                    // Byte string: same escape rules as a normal string.
+                    i += 1;
+                    while i < n {
+                        match b[i] {
+                            '\\' => i += 2,
+                            '"' => {
+                                i += 1;
+                                break;
+                            }
+                            '\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    continue;
+                }
+                // Raw string: count the hashes, then scan for `"` + the
+                // same number of hashes.
+                let mut hashes = 0;
+                while at(i) == '#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                if at(i) != '"' {
+                    // `r#ident` (raw identifier) — emit as ident.
+                    toks.push(Tok { line, text: ident });
+                    continue;
+                }
+                i += 1;
+                'raw: while i < n {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && at(i + 1 + k) == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+            } else {
+                toks.push(Tok { line, text: ident });
+            }
+        } else if c.is_whitespace() {
+            i += 1;
+        } else {
+            toks.push(Tok {
+                line,
+                text: c.to_string(),
+            });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Is line `line` (1-based) justified by a nearby safety comment?
+/// Accepts `SAFETY:` on the same line or the six preceding lines, or
+/// `# Safety` / `SAFETY:` anywhere in the contiguous comment/attribute
+/// run directly above (covers `unsafe fn` doc sections of any length).
+fn has_safety_near(lines: &[&str], line: usize) -> bool {
+    if lines.is_empty() {
+        return false;
+    }
+    let idx = (line - 1).min(lines.len() - 1);
+    let lo = idx.saturating_sub(6);
+    if lines[lo..=idx].iter().any(|l| l.contains("SAFETY:")) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let t = lines[j].trim_start();
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!") || t.is_empty() {
+            if t.contains("# Safety") || t.contains("SAFETY:") {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn in_allowlist(rel: &str) -> bool {
+    UNSAFE_ALLOWLIST.iter().any(|p| rel.starts_with(p))
+}
+
+/// Per-file rules: safety-comment, unsafe-allowlist,
+/// std-sync-confinement. `rel` is the repo-relative `/`-separated path.
+pub fn lint_file(rel: &str, src: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let toks = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+
+    for (k, t) in toks.iter().enumerate() {
+        if t.text == "unsafe" {
+            let next = toks.get(k + 1).map(|t| t.text.as_str()).unwrap_or("");
+            let what = match next {
+                "fn" => {
+                    if toks.get(k + 2).map(|t| t.text.as_str()) == Some("(") {
+                        continue; // `unsafe fn(...)` pointer type: no new site
+                    }
+                    "unsafe fn"
+                }
+                "impl" => "unsafe impl",
+                "trait" => "unsafe trait",
+                "extern" => "unsafe extern block",
+                _ => "unsafe block",
+            };
+            if !in_allowlist(rel) {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: t.line,
+                    rule: "unsafe-allowlist",
+                    message: format!(
+                        "{what} outside the unsafe allowlist; move the unsafety into \
+                         an allowlisted module or extend the list in crates/check/src/lint.rs \
+                         with a documented invariant"
+                    ),
+                });
+            }
+            if !has_safety_near(&lines, t.line) {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: t.line,
+                    rule: "safety-comment",
+                    message: format!(
+                        "{what} without a `// SAFETY:` comment (or `# Safety` doc section) \
+                         justifying its invariants"
+                    ),
+                });
+            }
+        }
+    }
+
+    if SYNC_CONFINED.iter().any(|p| rel.starts_with(p)) && !rel.starts_with(SYNC_MODULE) {
+        for w in toks.windows(4) {
+            if w[0].text == "std" && w[1].text == ":" && w[2].text == ":" && w[3].text == "sync" {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: w[0].line,
+                    rule: "std-sync-confinement",
+                    message: "direct `std::sync` reference outside the sync module; go \
+                              through `mmsb_pool::sync` (SyncBackend or the re-exports in \
+                              `sync::real`) so the protocol stays model-checkable"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+/// Does this source use `unsafe` as code (not counting fn-pointer
+/// types, which introduce no unsafe operations at the use site)?
+fn uses_unsafe(src: &str) -> bool {
+    let toks = lex(src);
+    toks.iter().enumerate().any(|(k, t)| {
+        t.text == "unsafe"
+            && !(toks.get(k + 1).map(|t| t.text.as_str()) == Some("fn")
+                && toks.get(k + 2).map(|t| t.text.as_str()) == Some("("))
+    })
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lint the whole workspace under `root` (the repo root containing
+/// `crates/`). Returns every violation found; empty means clean.
+pub fn lint_workspace(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut files = Vec::new();
+    walk(&root.join("crates"), &mut files);
+
+    // Per-crate unsafe presence (src/ only — integration tests are
+    // their own crate roots and are checked individually).
+    let mut crate_uses_unsafe: std::collections::BTreeMap<String, bool> = Default::default();
+
+    for path in &files {
+        let rel = rel_of(root, path);
+        let Ok(src) = fs::read_to_string(path) else {
+            out.push(Violation {
+                file: rel,
+                line: 1,
+                rule: "io",
+                message: "unreadable source file".to_string(),
+            });
+            continue;
+        };
+        out.extend(lint_file(&rel, &src));
+
+        let file_unsafe = uses_unsafe(&src);
+        if let Some(krate) = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+        {
+            if rel.starts_with(&format!("crates/{krate}/src/")) {
+                *crate_uses_unsafe.entry(krate.to_string()).or_default() |= file_unsafe;
+            } else if file_unsafe && !src.contains("#![deny(unsafe_op_in_unsafe_fn)]") {
+                // tests/benches: standalone crate roots.
+                out.push(Violation {
+                    file: rel.clone(),
+                    line: 1,
+                    rule: "deny-attr",
+                    message: "file uses unsafe but is missing \
+                              `#![deny(unsafe_op_in_unsafe_fn)]` (integration tests and \
+                              bins are their own crate roots)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    for (krate, uses) in &crate_uses_unsafe {
+        let lib = root.join(format!("crates/{krate}/src/lib.rs"));
+        let Ok(lib_src) = fs::read_to_string(&lib) else {
+            continue;
+        };
+        let rel = format!("crates/{krate}/src/lib.rs");
+        if *uses && !lib_src.contains("#![deny(unsafe_op_in_unsafe_fn)]") {
+            out.push(Violation {
+                file: rel.clone(),
+                line: 1,
+                rule: "deny-attr",
+                message: format!(
+                    "crate `{krate}` uses unsafe but its root is missing \
+                     `#![deny(unsafe_op_in_unsafe_fn)]`"
+                ),
+            });
+        }
+        if FORBID_CRATES.contains(&krate.as_str()) && !lib_src.contains("#![forbid(unsafe_code)]")
+        {
+            out.push(Violation {
+                file: rel,
+                line: 1,
+                rule: "forbid-attr",
+                message: format!(
+                    "crate `{krate}` needs no unsafe and must pin that with \
+                     `#![forbid(unsafe_code)]`"
+                ),
+            });
+        }
+    }
+
+    out.sort_by_key(|v| (v.file.clone(), v.line));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn lexer_strips_comments_and_literals() {
+        let src = r##"
+// unsafe in a line comment
+/* unsafe in /* a nested */ block comment */
+let s = "unsafe in a string";
+let r = r#"unsafe in a raw string"#;
+let c = 'u'; let esc = '\''; let lt: &'static str = "x";
+fn real() { }
+"##;
+        let t = texts(src);
+        assert!(!t.contains(&"unsafe".to_string()), "{t:?}");
+        assert!(t.contains(&"real".to_string()));
+        assert!(t.contains(&"static".to_string()), "lifetime ident survives");
+    }
+
+    #[test]
+    fn lexer_tracks_lines_across_literals() {
+        let src = "let a = \"line\nline\nline\";\nunsafe { }\n";
+        let toks = lex(src);
+        let u = toks.iter().find(|t| t.text == "unsafe").unwrap();
+        assert_eq!(u.line, 4);
+    }
+
+    #[test]
+    fn fn_pointer_type_is_exempt() {
+        let src = "struct T { call: unsafe fn(*mut ()) }";
+        assert!(lint_file("crates/pool/src/x.rs", src).is_empty());
+        assert!(!uses_unsafe(src));
+    }
+
+    #[test]
+    fn uncommented_block_is_flagged_and_comment_accepted() {
+        let bad = "fn f() { unsafe { g() } }";
+        let vs = lint_file("crates/pool/src/x.rs", bad);
+        assert!(vs.iter().any(|v| v.rule == "safety-comment"), "{vs:?}");
+        let good =
+            "fn f() {\n    // SAFETY: g is sound here because reasons.\n    unsafe { g() }\n}";
+        assert!(lint_file("crates/pool/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_doc_section_is_accepted() {
+        let src = "/// Does a thing.\n///\n/// # Safety\n/// Caller keeps `p` alive.\npub unsafe fn f(p: *mut ()) {}";
+        assert!(lint_file("crates/pool/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_is_enforced() {
+        let src = "// SAFETY: commented, but still not allowed here.\nfn f() { unsafe { g() } }";
+        let vs = lint_file("crates/svi/src/x.rs", src);
+        assert!(vs.iter().any(|v| v.rule == "unsafe-allowlist"), "{vs:?}");
+    }
+
+    #[test]
+    fn std_sync_confinement() {
+        let src = "use std::sync::Mutex;";
+        let vs = lint_file("crates/pool/src/lib.rs", src);
+        assert!(vs.iter().any(|v| v.rule == "std-sync-confinement"), "{vs:?}");
+        assert!(lint_file("crates/pool/src/sync/real.rs", src).is_empty());
+        assert!(lint_file("crates/graph/src/lib.rs", src).is_empty());
+    }
+}

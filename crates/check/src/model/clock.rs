@@ -1,0 +1,75 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Each model thread carries a [`VClock`]; every synchronization object
+//! (mutex, condvar, atomic, publish slot) carries one too. Release-type
+//! operations (unlock, notify, publish, atomic store) join the thread's
+//! clock into the object's; acquire-type operations (lock, wait return,
+//! consume, atomic load) join the object's clock into the thread's. Two
+//! accesses to a tracked cell race iff neither access's clock snapshot
+//! is `<=` the other's — i.e. no chain of release/acquire edges orders
+//! them.
+
+/// A growable vector clock; index = model thread id.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    #[inline]
+    fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advance this thread's own component (a new epoch).
+    pub(crate) fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Component-wise maximum (the join of the happens-before lattice).
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// `self` happens-before-or-equals `other`.
+    pub(crate) fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_after_join() {
+        let mut a = VClock::default();
+        a.tick(0);
+        let mut b = VClock::default();
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        // Release a -> acquire into b: now a <= b.
+        b.join(&a);
+        b.tick(1);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+    }
+
+    #[test]
+    fn le_handles_length_mismatch() {
+        let mut a = VClock::default();
+        a.tick(3);
+        let b = VClock::default();
+        assert!(!a.le(&b));
+        assert!(b.le(&a));
+    }
+}

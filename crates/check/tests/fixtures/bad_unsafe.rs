@@ -1,0 +1,15 @@
+// Lint fixture (NOT compiled — lives under a `fixtures/` dir the
+// workspace walker skips). Contains an unsafe block with no SAFETY
+// comment and a stray std::sync import; `xlint_gate.rs` asserts the
+// lint flags both when told this file lives in `crates/pool/src`.
+
+use std::sync::Mutex;
+
+static mut COUNTER: u64 = 0;
+
+pub fn bump() -> u64 {
+    unsafe {
+        COUNTER += 1;
+        COUNTER
+    }
+}

@@ -1,0 +1,148 @@
+//! Checker self-tests: seeded concurrency bugs in intentionally-buggy
+//! shims of the pool's protocols, each asserting the checker actually
+//! reports the bug — plus the replay-determinism guarantee that makes
+//! counterexamples reproducible from a seed.
+
+use std::sync::Arc;
+
+use mmsb_check::model::{
+    self, explore, Config, ModelSync, PublishSlot, RaceCell, ViolationKind,
+};
+use mmsb_pool::sync::SyncBackend;
+
+/// Buggy shim #1 — missing notify (lost wakeup): a consumer waits on a
+/// condvar for a flag the producer sets under the same mutex, but the
+/// producer never notifies. Some interleaving leaves the consumer
+/// blocked forever; the checker must report it as a deadlock.
+#[test]
+fn missing_notify_is_reported_as_deadlock() {
+    let report = explore(&Config::default(), || {
+        let m = Arc::new(ModelSync::mutex(false));
+        let cv = Arc::new(ModelSync::condvar());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let consumer = model::spawn("consumer", move || {
+            let mut flag = ModelSync::lock(&m2);
+            while !*flag {
+                flag = ModelSync::wait(&cv2, flag);
+            }
+        });
+        *ModelSync::lock(&m) = true;
+        // BUG: no ModelSync::notify_one(&cv) — the wakeup is lost.
+        model::join(consumer);
+    });
+    let v = report.violation.expect("lost wakeup must be caught");
+    assert_eq!(v.kind, ViolationKind::Deadlock);
+    assert!(
+        v.trace.contains("BlockedCv") || v.message.contains("BlockedCv"),
+        "the stuck waiter shows in the report: {}",
+        v.message
+    );
+}
+
+/// Buggy shim #2 — torn publish: the producer hands a payload over via
+/// a plain flag instead of a release/acquire edge, so the consumer can
+/// observe the flag without the payload write being ordered first.
+/// Both cells are tracked; the checker must flag the unsynchronized
+/// pair as a data race.
+#[test]
+fn torn_publish_is_reported_as_data_race() {
+    let report = explore(&Config::default(), || {
+        let data = Arc::new(RaceCell::new("payload", 0u64));
+        let ready = Arc::new(RaceCell::new("ready-flag", 0u64));
+        let (d2, r2) = (Arc::clone(&data), Arc::clone(&ready));
+        let producer = model::spawn("producer", move || {
+            d2.set(42);
+            r2.set(1); // BUG: plain write, no release edge
+        });
+        if ready.get() == 1 {
+            assert_eq!(data.get(), 42);
+        }
+        model::join(producer);
+    });
+    let v = report.violation.expect("torn publish must be caught");
+    assert_eq!(v.kind, ViolationKind::DataRace);
+}
+
+/// Buggy shim #3 — double publish: publishing into a slot that was
+/// never consumed. This is the model analogue of `BackgroundWorker`
+/// publishing a task while one is still in flight.
+#[test]
+fn double_publish_is_reported() {
+    let report = explore(&Config::default(), || {
+        let slot = PublishSlot::new("task-slot");
+        slot.publish(1u64);
+        slot.publish(2u64); // BUG: previous payload never consumed
+    });
+    let v = report.violation.expect("double publish must be caught");
+    assert_eq!(v.kind, ViolationKind::DoublePublish);
+    assert!(v.message.contains("task-slot"));
+}
+
+/// Buggy shim #4 — consume of an empty slot (the mirror-image protocol
+/// violation: collecting a result that was never published).
+#[test]
+fn empty_consume_is_reported() {
+    let report = explore(&Config::default(), || {
+        let slot = PublishSlot::<u64>::new("result-slot");
+        let _ = slot.consume(); // BUG: nothing was published
+    });
+    let v = report.violation.expect("empty consume must be caught");
+    assert_eq!(v.kind, ViolationKind::EmptyConsume);
+}
+
+/// A racy-but-rare interleaving: the race only exists when the spawned
+/// thread's write lands between the two main-thread accesses. The
+/// bounded DFS must still find it (exhaustiveness within the bound).
+#[test]
+fn rare_interleaving_race_is_still_found() {
+    let report = explore(&Config::default(), || {
+        let c = Arc::new(RaceCell::new("rare", 0u64));
+        let m = Arc::new(ModelSync::mutex(()));
+        let (c2, m2) = (Arc::clone(&c), Arc::clone(&m));
+        let h = model::spawn("late-writer", move || {
+            let _g = ModelSync::lock(&m2);
+            c2.set(1); // races with the main-thread accesses below
+        });
+        {
+            // BUG: main takes the "protecting" mutex only *after* its
+            // first access, so exactly one access pair is unordered.
+            let _ = c.get();
+            let _g = ModelSync::lock(&m);
+            let _ = c.get();
+        }
+        model::join(h);
+    });
+    let v = report.violation.expect("the rare interleaving must be explored");
+    assert_eq!(v.kind, ViolationKind::DataRace);
+}
+
+/// Replay determinism: the DFS is a pure function of (seed, bounds), so
+/// exploring the same buggy body twice yields bit-identical reports —
+/// same execution count, same violation, same trace line for line.
+/// This is what makes a counterexample from CI reproducible locally.
+#[test]
+fn counterexamples_replay_deterministically_from_seed() {
+    fn run(seed: u64) -> (usize, String) {
+        let cfg = Config {
+            seed,
+            ..Config::default()
+        };
+        let report = explore(&cfg, || {
+            let c = Arc::new(RaceCell::new("replay", 0u64));
+            let c2 = Arc::clone(&c);
+            let h = model::spawn("writer", move || c2.set(1));
+            let _ = c.get();
+            model::join(h);
+        });
+        let v = report.violation.expect("unsynchronized pair must race");
+        (report.executions, format!("{:?}: {}\n{}", v.kind, v.message, v.trace))
+    }
+    let (n1, t1) = run(7);
+    let (n2, t2) = run(7);
+    assert_eq!(n1, n2, "same seed => same number of executions to the bug");
+    assert_eq!(t1, t2, "same seed => identical counterexample trace");
+    // A different seed permutes the search order but must find the same
+    // *kind* of bug (the state space does not depend on the seed).
+    let (_, t3) = run(1234);
+    assert!(t3.starts_with("DataRace"), "seed only permutes order: {t3}");
+}

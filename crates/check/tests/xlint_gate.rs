@@ -1,0 +1,62 @@
+//! The lint gate's own gate: the workspace must be clean, and the
+//! fixture with an uncommented `unsafe` block must fail.
+
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+}
+
+/// Acceptance gate (ISSUE 3): `xlint` passes on the workspace.
+#[test]
+fn workspace_is_clean() {
+    let violations = mmsb_check::lint::lint_workspace(repo_root());
+    assert!(
+        violations.is_empty(),
+        "workspace lint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Acceptance gate (ISSUE 3): the fixture with an uncommented unsafe
+/// block fails — and for the right reasons.
+#[test]
+fn fixture_with_uncommented_unsafe_fails() {
+    let fixture = repo_root().join("crates/check/tests/fixtures/bad_unsafe.rs");
+    let src = std::fs::read_to_string(&fixture).expect("fixture exists");
+    // Lint it as if it lived in the pool crate, where unsafe is allowed
+    // but must be commented and std::sync is confined.
+    let violations = mmsb_check::lint::lint_file("crates/pool/src/bad_unsafe.rs", &src);
+    assert!(
+        violations.iter().any(|v| v.rule == "safety-comment"),
+        "uncommented unsafe must be flagged: {violations:?}"
+    );
+    assert!(
+        violations.iter().any(|v| v.rule == "std-sync-confinement"),
+        "stray std::sync import must be flagged: {violations:?}"
+    );
+    // And outside the allowlist entirely, the unsafe itself is illegal.
+    let outside = mmsb_check::lint::lint_file("crates/svi/src/bad_unsafe.rs", &src);
+    assert!(
+        outside.iter().any(|v| v.rule == "unsafe-allowlist"),
+        "unsafe outside the allowlist must be flagged: {outside:?}"
+    );
+}
+
+/// The walker must never pick fixtures up as workspace sources (they
+/// are intentionally violating).
+#[test]
+fn fixtures_are_not_walked() {
+    let violations = mmsb_check::lint::lint_workspace(repo_root());
+    assert!(
+        violations.iter().all(|v| !v.file.contains("fixtures")),
+        "fixtures leaked into the workspace walk: {violations:?}"
+    );
+}

@@ -39,6 +39,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod collectives;
 pub mod message;
 pub mod tree;

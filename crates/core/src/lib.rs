@@ -52,6 +52,8 @@
 //! assert!(perplexity.is_finite() && perplexity > 1.0);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod communities;
 pub mod convergence;
 pub mod diagnostics;

@@ -71,7 +71,7 @@ pub(crate) fn step(
         pool.run_with(workspaces, nv.div_ceil(PHI_CHUNK), |ws, chunk| {
             let lo = chunk * PHI_CHUNK;
             let hi = ((chunk + 1) * PHI_CHUNK).min(nv);
-            // Safety: chunk ranges [lo*k, hi*k) are pairwise disjoint.
+            // SAFETY: chunk ranges [lo*k, hi*k) are pairwise disjoint.
             let chunk_out = unsafe { out.range(lo * k, hi * k) };
             for (j, idx) in (lo..hi).enumerate() {
                 eng.compute_phi_update_into(
@@ -93,7 +93,7 @@ pub(crate) fn step(
         let eng = &*engine;
         let out = SharedSlice::new(&mut bufs.chunk_grads[..n_chunks * 2 * k]);
         pool.run_with(workspaces, n_chunks, |ws, chunk| {
-            // Safety: one disjoint 2K row per chunk.
+            // SAFETY: one disjoint 2K row per chunk.
             let grad = unsafe { out.range(chunk * 2 * k, (chunk + 1) * 2 * k) };
             eng.theta_gradient_chunk(chunk, ws, grad);
         });
@@ -121,7 +121,7 @@ pub(crate) fn evaluate_perplexity(
         pool.run_with(workspaces, n.div_ceil(PERPLEXITY_CHUNK), |_ws, chunk| {
             let lo = chunk * PERPLEXITY_CHUNK;
             let hi = ((chunk + 1) * PERPLEXITY_CHUNK).min(n);
-            // Safety: chunk ranges are pairwise disjoint.
+            // SAFETY: chunk ranges are pairwise disjoint.
             let slice = unsafe { out.range(lo, hi) };
             eng.perplexity_probs_into(lo, hi, slice);
         });

@@ -12,6 +12,8 @@
 //! process-global, and a concurrently running test would pollute the
 //! count.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -31,29 +33,42 @@ struct CountingAlloc;
 static COUNTING: AtomicBool = AtomicBool::new(false);
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: every method forwards its arguments verbatim to `System`, so
+// the `GlobalAlloc` contract holds exactly as `System` upholds it; the
+// added counting is a relaxed atomic increment with no effect on the
+// returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: (applies to all four methods) the caller's obligations are passed
+    // through unchanged to `System`, which imposes identical ones.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: forwarded verbatim; see the impl-level comment.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: forwards verbatim; see the impl-level comment.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: forwarded verbatim; see the impl-level comment.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: forwards verbatim; see the impl-level comment.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: forwarded verbatim; see the impl-level comment.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: forwards verbatim; see the impl-level comment.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim; see the impl-level comment.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

@@ -24,6 +24,8 @@
 //! Data movement is performed for real (rows are copied through the store
 //! on every access); only the *wire time* is modeled, by `mmsb-netsim`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod pipeline;
 
 mod partition;

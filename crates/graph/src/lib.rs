@@ -32,6 +32,8 @@
 //! assert!(!g.has_edge(VertexId(0), VertexId(2)));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod generate;
 pub mod heldout;
 pub mod io;

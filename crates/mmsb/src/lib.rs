@@ -18,6 +18,8 @@
 //! * `dataset_pipeline` — SNAP-format file in, trained model and
 //!   communities out.
 
+#![forbid(unsafe_code)]
+
 pub use mmsb_comm as comm;
 pub use mmsb_core as core;
 pub use mmsb_dkv as dkv;

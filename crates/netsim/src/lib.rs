@@ -21,6 +21,8 @@
 //! assert!(clocks.now(3) > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod collective;
 
 mod clock;

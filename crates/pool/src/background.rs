@@ -21,12 +21,23 @@
 //!   allocation.
 //! * A panic inside the task is caught on the worker, handed back on
 //!   [`BackgroundWorker::join`] (re-thrown) or [`BackgroundWorker::wait`]
-//!   (returned as a payload), and the worker stays usable.
+//!   (returned as a payload), and the worker stays usable. The `pending`
+//!   flag is cleared on the panic path *before* the payload is parked in
+//!   `State::panic`, so a task that panics can never leave the slot
+//!   marked in-flight — publish → panic → publish on the same worker is
+//!   a supported sequence (pinned by `panicked_task_never_leaves_slot_in_
+//!   flight` below and model-checked in `mmsb-check`).
+//!
+//! Like the pool, every blocking operation goes through the
+//! [`SyncBackend`](crate::sync::SyncBackend) layer so `mmsb-check` can
+//! run this exact protocol under its model scheduler; production code
+//! uses the [`BackgroundWorker`] alias on the real backend.
 
+use crate::sync::real::Arc;
+use crate::sync::SyncBackend;
+use crate::RealSync;
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 
 /// A published task: an erased pointer to the caller's `Option<F>` slot
 /// plus the monomorphized trampoline that takes and invokes it. `Copy`,
@@ -37,9 +48,10 @@ struct Task {
     call: unsafe fn(*mut ()),
 }
 
-// The slot pointer refers to an `Option<F>` the caller keeps alive (and
-// does not touch) until `wait`/`join` returns; `F: Send` is enforced by
-// `spawn`'s bound.
+// SAFETY: the slot pointer refers to an `Option<F>` the caller keeps
+// alive (and does not touch) until `wait`/`join` returns; `F: Send` is
+// enforced by `spawn`'s bound, so handing the closure's captures to the
+// worker thread is sound.
 unsafe impl Send for Task {}
 
 struct State {
@@ -52,40 +64,43 @@ struct State {
     panic: Option<Box<dyn Any + Send>>,
 }
 
-struct Shared {
-    state: Mutex<State>,
+struct Shared<S: SyncBackend> {
+    state: S::Mutex<State>,
     /// The worker waits here for a task (or shutdown).
-    task_cv: Condvar,
+    task_cv: S::Condvar,
     /// Callers wait here for the in-flight task to finish.
-    done_cv: Condvar,
+    done_cv: S::Condvar,
 }
 
-/// A persistent one-task-at-a-time background worker thread.
-pub struct BackgroundWorker {
-    shared: Arc<Shared>,
-    handle: Option<JoinHandle<()>>,
+/// A persistent one-task-at-a-time background worker thread, generic
+/// over the [`SyncBackend`] its handoff protocol runs on. Production
+/// code uses the [`BackgroundWorker`] alias; `mmsb-check` instantiates
+/// the model backend to explore the protocol's interleavings.
+pub struct BackgroundWorkerIn<S: SyncBackend> {
+    shared: Arc<Shared<S>>,
+    handle: Option<S::JoinHandle>,
 }
 
-impl BackgroundWorker {
+/// Background worker on the production (`std::sync`) backend.
+pub type BackgroundWorker = BackgroundWorkerIn<RealSync>;
+
+impl<S: SyncBackend> BackgroundWorkerIn<S> {
     /// Spawn the worker thread. `name` labels the OS thread (useful in
     /// profilers and panic messages).
     pub fn new(name: &str) -> Self {
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
+            state: S::mutex(State {
                 task: None,
                 pending: false,
                 shutdown: false,
                 panic: None,
             }),
-            task_cv: Condvar::new(),
-            done_cv: Condvar::new(),
+            task_cv: S::condvar(),
+            done_cv: S::condvar(),
         });
         let handle = {
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(name.to_string())
-                .spawn(move || worker_loop(&shared))
-                .expect("failed to spawn background worker")
+            S::spawn(name, move || worker_loop(&shared))
         };
         Self {
             shared,
@@ -102,18 +117,26 @@ impl BackgroundWorker {
     ///
     /// # Safety
     /// * `*slot` must be `Some` and must stay alive and untouched (no
-    ///   reads, writes, moves, or drops) until [`BackgroundWorker::wait`]
-    ///   or [`BackgroundWorker::join`] has returned — including on panic
+    ///   reads, writes, moves, or drops) until [`BackgroundWorkerIn::wait`]
+    ///   or [`BackgroundWorkerIn::join`] has returned — including on panic
     ///   unwind, so callers that can unwind between `spawn` and `join`
     ///   must wait in a drop guard.
     /// * Everything the closure borrows must likewise outlive that wait.
     ///
     /// # Panics
     /// Panics if a task is already in flight (the protocol is strictly
-    /// `spawn`/`join` alternation) or if `*slot` is `None`.
+    /// `spawn`/`join` alternation) or if `*slot` is `None`. A previous
+    /// task that *panicked* is not in flight once captured: its payload
+    /// is dropped here if it was never collected via `wait`/`join`.
     pub unsafe fn spawn<F: FnOnce() + Send>(&self, slot: &mut Option<F>) {
         assert!(slot.is_some(), "spawn needs a task in the slot");
+        // SAFETY: contract of `trampoline` — `slot` must point at a live
+        // `Some` `Option<F>` that nothing else touches while it runs.
         unsafe fn trampoline<F: FnOnce()>(slot: *mut ()) {
+            // SAFETY: `slot` is the `Option<F>` pointer published by
+            // `spawn` below; the caller guarantees it stays alive and
+            // untouched until wait/join, and the worker runs exactly one
+            // published task at a time, so this take is exclusive.
             let task = unsafe { (*slot.cast::<Option<F>>()).take() };
             (task.expect("published slot holds a task"))();
         }
@@ -121,7 +144,7 @@ impl BackgroundWorker {
             slot: (slot as *mut Option<F>).cast(),
             call: trampoline::<F>,
         };
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = S::lock(&self.shared.state);
         if st.pending {
             // Drop the guard first so the panic cannot poison the mutex
             // (the worker must stay usable, including from drop glue).
@@ -132,7 +155,7 @@ impl BackgroundWorker {
         st.pending = true;
         st.panic = None;
         drop(st);
-        self.shared.task_cv.notify_one();
+        S::notify_one(&self.shared.task_cv);
     }
 
     /// Block until the in-flight task (if any) has finished, returning
@@ -140,14 +163,14 @@ impl BackgroundWorker {
     /// immediately, so `wait` is safe to call unconditionally — e.g. from
     /// a drop guard.
     pub fn wait(&self) -> Option<Box<dyn Any + Send>> {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = S::lock(&self.shared.state);
         while st.pending {
-            st = self.shared.done_cv.wait(st).unwrap();
+            st = S::wait(&self.shared.done_cv, st);
         }
         st.panic.take()
     }
 
-    /// [`BackgroundWorker::wait`], re-throwing the task's panic on the
+    /// [`BackgroundWorkerIn::wait`], re-throwing the task's panic on the
     /// calling thread (mirroring [`ThreadPool::run`](crate::ThreadPool)).
     pub fn join(&self) {
         if let Some(payload) = self.wait() {
@@ -157,24 +180,24 @@ impl BackgroundWorker {
 
     /// Whether no task is currently in flight.
     pub fn is_idle(&self) -> bool {
-        !self.shared.state.lock().unwrap().pending
+        !S::lock(&self.shared.state).pending
     }
 }
 
-impl Drop for BackgroundWorker {
+impl<S: SyncBackend> Drop for BackgroundWorkerIn<S> {
     fn drop(&mut self) {
         // Let an in-flight task finish (its captures may borrow caller
         // state), then shut the thread down.
         let _ = self.wait();
-        self.shared.state.lock().unwrap().shutdown = true;
-        self.shared.task_cv.notify_one();
+        S::lock(&self.shared.state).shutdown = true;
+        S::notify_one(&self.shared.task_cv);
         if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+            S::join(handle);
         }
     }
 }
 
-impl std::fmt::Debug for BackgroundWorker {
+impl<S: SyncBackend> std::fmt::Debug for BackgroundWorkerIn<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BackgroundWorker")
             .field("idle", &self.is_idle())
@@ -182,10 +205,10 @@ impl std::fmt::Debug for BackgroundWorker {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop<S: SyncBackend>(shared: &Shared<S>) {
     loop {
         let task = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = S::lock(&shared.state);
             loop {
                 if let Some(task) = st.task.take() {
                     break task;
@@ -193,29 +216,39 @@ fn worker_loop(shared: &Shared) {
                 if st.shutdown {
                     return;
                 }
-                st = shared.task_cv.wait(st).unwrap();
+                st = S::wait(&shared.task_cv, st);
             }
         };
+        // SAFETY: the task was published by `spawn`, whose caller keeps
+        // the slot (and everything the closure borrows) alive until
+        // wait/join observes `pending == false` — which only happens
+        // after this call returns or unwinds into `catch_unwind`.
         let result = catch_unwind(AssertUnwindSafe(|| unsafe { (task.call)(task.slot) }));
-        let mut st = shared.state.lock().unwrap();
+        let mut st = S::lock(&shared.state);
+        // Clear `pending` unconditionally — also on the panic path —
+        // before parking the payload: a panicked task must never leave
+        // the slot marked in-flight, or the worker would refuse every
+        // subsequent publish.
+        st.pending = false;
         if let Err(payload) = result {
             st.panic = Some(payload);
         }
-        st.pending = false;
         drop(st);
-        shared.done_cv.notify_all();
+        S::notify_all(&shared.done_cv);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::real::{AtomicU64, Mutex, Ordering};
 
     /// Run `f` on `worker` and wait for it, scoped so the borrow rules
     /// the unsafe contract demands are trivially met.
     fn run_one<F: FnOnce() + Send>(worker: &BackgroundWorker, f: F) {
         let mut slot = Some(f);
+        // SAFETY: the slot outlives the join on the next line and is not
+        // touched in between.
         unsafe { worker.spawn(&mut slot) };
         worker.join();
     }
@@ -240,6 +273,7 @@ mod tests {
         let mut slot = Some(|| {
             out = 42;
         });
+        // SAFETY: `slot` and `out` outlive the `join` below.
         unsafe { worker.spawn(&mut slot) };
         // The caller is free to do unrelated work here; `out` and `slot`
         // are untouched until join.
@@ -261,6 +295,7 @@ mod tests {
                     *b = i as u32 * 3;
                 }
             });
+            // SAFETY: `slot` (owning the `dst` borrow) outlives the join.
             unsafe { worker.spawn(&mut slot) };
             worker.join();
         }
@@ -286,10 +321,36 @@ mod tests {
         }
     }
 
+    /// Regression (ISSUE 3): a panic captured by the worker *before* the
+    /// caller ever calls `join` must not leave the slot marked in-flight.
+    /// Publish → panic → wait (captures the payload) → publish again on
+    /// the same worker must succeed, and the second task must run.
+    #[test]
+    fn panicked_task_never_leaves_slot_in_flight() {
+        let worker = BackgroundWorker::new("bg-republish");
+        let mut boom = Some(|| panic!("pre-join boom"));
+        // SAFETY: `boom` outlives the `wait` below.
+        unsafe { worker.spawn(&mut boom) };
+        // Wait (not join): the panic is captured without unwinding here,
+        // and `pending` must have been cleared on the worker's panic path.
+        let payload = worker.wait().expect("panicked task yields a payload");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"pre-join boom"));
+        assert!(worker.is_idle(), "panicked task left the slot in-flight");
+        // Re-publish on the same worker: must not hit the
+        // "still in flight" assertion and must execute normally.
+        let ran = AtomicU64::new(0);
+        run_one(&worker, || {
+            ran.store(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert!(worker.wait().is_none(), "stale panic payload survived");
+    }
+
     #[test]
     fn wait_returns_payload_without_unwinding() {
         let worker = BackgroundWorker::new("bg-wait");
         let mut slot = Some(|| panic!("quiet boom"));
+        // SAFETY: `slot` outlives the `wait` below.
         unsafe { worker.spawn(&mut slot) };
         let payload = worker.wait().expect("panicked task yields a payload");
         assert_eq!(payload.downcast_ref::<&str>(), Some(&"quiet boom"));
@@ -313,8 +374,11 @@ mod tests {
         let mut a = Some(|| {
             drop(gate.lock().unwrap());
         });
+        // SAFETY: `a` outlives the `join` below.
         unsafe { worker.spawn(&mut a) };
         let mut b = Some(|| {});
+        // SAFETY: `b` is never published (the spawn panics first), and
+        // outlives the call regardless.
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
             worker.spawn(&mut b);
         }));
@@ -336,6 +400,8 @@ mod tests {
                 std::thread::sleep(std::time::Duration::from_millis(20));
                 done.store(1, Ordering::SeqCst);
             });
+            // SAFETY: `slot` outlives the drop of `worker`, which waits
+            // out the in-flight task.
             unsafe { worker.spawn(&mut slot) };
             // Worker dropped with the task still (likely) running; the
             // slot outlives the drop, so the contract holds.

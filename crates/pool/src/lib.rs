@@ -32,17 +32,27 @@
 //! detached sibling: a persistent one-task-at-a-time worker for real
 //! load/compute overlap (double-buffered prefetch), with the same
 //! zero-allocation publication protocol.
+//!
+//! Every synchronization operation goes through the [`sync::SyncBackend`]
+//! layer: production code runs on [`sync::RealSync`] (plain `std::sync`,
+//! zero cost), and `mmsb-check` instantiates the *same* protocol code on
+//! its model backend to exhaustively explore thread interleavings. The
+//! concrete [`ThreadPool`] and [`BackgroundWorker`] types are aliases of
+//! the generic [`ThreadPoolIn`] / [`BackgroundWorkerIn`] on the real
+//! backend.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod background;
+pub mod sync;
 
-pub use background::BackgroundWorker;
+pub use background::{BackgroundWorker, BackgroundWorkerIn};
+pub use sync::{RealSync, SyncBackend};
 
+use crate::sync::real::{Arc, Ordering};
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 
 thread_local! {
     /// Worker id of the pool job currently executing on this thread.
@@ -78,8 +88,10 @@ struct Job {
     n_chunks: usize,
 }
 
-// The pointer refers to a closure pinned on the calling thread's stack for
-// the whole job; the closure itself is required to be `Sync`.
+// SAFETY: the pointer refers to a closure pinned on the calling thread's
+// stack for the whole job (the caller blocks in `run` until every worker
+// has drained); the closure itself is required to be `Sync`, so invoking
+// it from worker threads is sound.
 unsafe impl Send for Job {}
 
 struct State {
@@ -91,26 +103,31 @@ struct State {
     panic: Option<Box<dyn Any + Send>>,
 }
 
-struct Shared {
-    state: Mutex<State>,
+struct Shared<S: SyncBackend> {
+    state: S::Mutex<State>,
     /// Workers wait here for a new epoch.
-    work_cv: Condvar,
+    work_cv: S::Condvar,
     /// The caller waits here for all workers to finish the current job.
-    done_cv: Condvar,
+    done_cv: S::Condvar,
     /// Next unclaimed chunk index of the current job.
-    next_chunk: AtomicUsize,
+    next_chunk: S::AtomicUsize,
     /// Helper workers still inside the current job.
-    active: AtomicUsize,
+    active: S::AtomicUsize,
 }
 
-/// Fork-join pool over persistent worker threads.
-pub struct ThreadPool {
-    shared: Arc<Shared>,
+/// Fork-join pool over persistent worker threads, generic over the
+/// [`SyncBackend`] its protocol runs on. Production code uses the
+/// [`ThreadPool`] alias; `mmsb-check` instantiates the model backend.
+pub struct ThreadPoolIn<S: SyncBackend> {
+    shared: Arc<Shared<S>>,
     threads: usize,
-    handles: Vec<JoinHandle<()>>,
+    handles: Vec<S::JoinHandle>,
 }
 
-impl ThreadPool {
+/// Fork-join pool on the production (`std::sync`) backend.
+pub type ThreadPool = ThreadPoolIn<RealSync>;
+
+impl<S: SyncBackend> ThreadPoolIn<S> {
     /// Create a pool that executes jobs on `threads` threads in total:
     /// the calling thread plus `threads - 1` spawned workers.
     ///
@@ -119,24 +136,21 @@ impl ThreadPool {
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "pool needs at least one thread");
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
+            state: S::mutex(State {
                 job: None,
                 epoch: 0,
                 shutdown: false,
                 panic: None,
             }),
-            work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
-            next_chunk: AtomicUsize::new(0),
-            active: AtomicUsize::new(0),
+            work_cv: S::condvar(),
+            done_cv: S::condvar(),
+            next_chunk: S::atomic_usize(0),
+            active: S::atomic_usize(0),
         });
         let handles = (1..threads)
             .map(|id| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("mmsb-pool-{id}"))
-                    .spawn(move || worker_loop(&shared, id))
-                    .expect("failed to spawn pool worker")
+                S::spawn(&format!("mmsb-pool-{id}"), move || worker_loop(&shared, id))
             })
             .collect();
         Self {
@@ -157,7 +171,7 @@ impl ThreadPool {
     /// anything derived from the chunk index, such as an output location —
     /// is fixed up front. `worker` is in `0..self.threads()` and no two
     /// threads run under the same worker id concurrently, so `worker` may
-    /// safely index per-thread scratch state (see [`ThreadPool::run_with`]).
+    /// safely index per-thread scratch state (see [`ThreadPoolIn::run_with`]).
     ///
     /// Blocks until every chunk has finished. If any chunk panics, the
     /// remaining chunks are skipped and the first payload is re-thrown
@@ -189,11 +203,16 @@ impl ThreadPool {
             return;
         }
 
+        // SAFETY: contract of `trampoline` — `data` must point at a live
+        // `F` that stays valid for the whole job.
         unsafe fn trampoline<F: Fn(usize, usize) + Sync>(
             data: *const (),
             worker: usize,
             chunk: usize,
         ) {
+            // SAFETY: `data` was erased from `&raw const f` in `run` and
+            // the closure outlives the job (the caller blocks until every
+            // worker drained); `F: Sync` permits the shared call.
             unsafe { (*data.cast::<F>())(worker, chunk) }
         }
         let job = Job {
@@ -203,15 +222,15 @@ impl ThreadPool {
         };
 
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = S::lock(&self.shared.state);
             debug_assert!(st.job.is_none(), "pool job published while one is active");
-            self.shared.next_chunk.store(0, Ordering::Relaxed);
-            self.shared.active.store(self.threads - 1, Ordering::Release);
+            S::store(&self.shared.next_chunk, 0, Ordering::Relaxed);
+            S::store(&self.shared.active, self.threads - 1, Ordering::Release);
             st.job = Some(job);
             st.epoch += 1;
             st.panic = None;
         }
-        self.shared.work_cv.notify_all();
+        S::notify_all(&self.shared.work_cv);
 
         // Participate as worker 0.
         let caller_panic = {
@@ -220,9 +239,9 @@ impl ThreadPool {
         };
 
         // Wait for the helpers; the last one out clears the job.
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = S::lock(&self.shared.state);
         while st.job.is_some() {
-            st = self.shared.done_cv.wait(st).unwrap();
+            st = S::wait(&self.shared.done_cv, st);
         }
         let helper_panic = st.panic.take();
         drop(st);
@@ -232,7 +251,7 @@ impl ThreadPool {
         }
     }
 
-    /// Like [`ThreadPool::run`], but hands each worker exclusive `&mut`
+    /// Like [`ThreadPoolIn::run`], but hands each worker exclusive `&mut`
     /// access to its own context from `ctxs` — the per-thread scratch API
     /// used for reusable workspaces.
     ///
@@ -256,7 +275,7 @@ impl ThreadPool {
         );
         let ctxs = SharedSlice::new(ctxs);
         self.run(n_chunks, |worker, chunk| {
-            // Safety: no two threads run under the same worker id at the
+            // SAFETY: no two threads run under the same worker id at the
             // same time, so `ctxs[worker]` is exclusive to this thread.
             let ctx = unsafe { &mut ctxs.range(worker, worker + 1)[0] };
             f(ctx, chunk);
@@ -264,17 +283,17 @@ impl ThreadPool {
     }
 }
 
-impl Drop for ThreadPool {
+impl<S: SyncBackend> Drop for ThreadPoolIn<S> {
     fn drop(&mut self) {
-        self.shared.state.lock().unwrap().shutdown = true;
-        self.shared.work_cv.notify_all();
+        S::lock(&self.shared.state).shutdown = true;
+        S::notify_all(&self.shared.work_cv);
         for handle in self.handles.drain(..) {
-            let _ = handle.join();
+            S::join(handle);
         }
     }
 }
 
-impl std::fmt::Debug for ThreadPool {
+impl<S: SyncBackend> std::fmt::Debug for ThreadPoolIn<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadPool")
             .field("threads", &self.threads)
@@ -285,13 +304,20 @@ impl std::fmt::Debug for ThreadPool {
 /// Claim and execute chunks of `job` until none remain, returning the
 /// first caught panic payload (after poisoning the chunk counter so the
 /// other workers drain quickly).
-fn claim_chunks(shared: &Shared, job: Job, worker: usize) -> Option<Box<dyn Any + Send>> {
+fn claim_chunks<S: SyncBackend>(
+    shared: &Shared<S>,
+    job: Job,
+    worker: usize,
+) -> Option<Box<dyn Any + Send>> {
     let mut panic = None;
     loop {
-        let chunk = shared.next_chunk.fetch_add(1, Ordering::Relaxed);
+        let chunk = S::fetch_add(&shared.next_chunk, 1, Ordering::Relaxed);
         if chunk >= job.n_chunks {
             break;
         }
+        // SAFETY: `job.data` points at the caller's closure, alive until
+        // every worker drained; the trampoline was monomorphized for the
+        // closure's exact type in `run`.
         let result = catch_unwind(AssertUnwindSafe(|| unsafe {
             (job.call)(job.data, worker, chunk)
         }));
@@ -302,17 +328,17 @@ fn claim_chunks(shared: &Shared, job: Job, worker: usize) -> Option<Box<dyn Any 
             // Skip the remaining chunks. Chunks below `n_chunks` were all
             // claimed already (the counter only exceeds `n_chunks` after
             // that), so this cannot re-issue one.
-            shared.next_chunk.store(job.n_chunks, Ordering::Relaxed);
+            S::store(&shared.next_chunk, job.n_chunks, Ordering::Relaxed);
         }
     }
     panic
 }
 
-fn worker_loop(shared: &Shared, worker: usize) {
+fn worker_loop<S: SyncBackend>(shared: &Shared<S>, worker: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = S::lock(&shared.state);
             loop {
                 if st.shutdown {
                     return;
@@ -323,7 +349,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
                         break job;
                     }
                 }
-                st = shared.work_cv.wait(st).unwrap();
+                st = S::wait(&shared.work_cv, st);
             }
         };
 
@@ -334,8 +360,8 @@ fn worker_loop(shared: &Shared, worker: usize) {
 
         // The job stays published until every helper has passed through,
         // so none of them can miss an epoch.
-        let remaining = shared.active.fetch_sub(1, Ordering::AcqRel) - 1;
-        let mut st = shared.state.lock().unwrap();
+        let remaining = S::fetch_sub(&shared.active, 1, Ordering::AcqRel) - 1;
+        let mut st = S::lock(&shared.state);
         if let Some(payload) = panic {
             if st.panic.is_none() {
                 st.panic = Some(payload);
@@ -344,7 +370,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
         if remaining == 0 {
             st.job = None;
             drop(st);
-            shared.done_cv.notify_all();
+            S::notify_all(&shared.done_cv);
         }
     }
 }
@@ -360,7 +386,13 @@ pub struct SharedSlice<'a, T> {
     _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
+// SAFETY: SharedSlice hands out disjoint subranges of a `&mut [T]`; with
+// `T: Send` those ranges may be written from other threads. The caller
+// contract of `range` (pairwise-disjoint ranges) is what makes the shared
+// `&self` access sound.
 unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+// SAFETY: as above — concurrent `range` calls are required to target
+// disjoint regions, so `&SharedSlice` may cross threads.
 unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {
@@ -395,6 +427,8 @@ impl<'a, T> SharedSlice<'a, T> {
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn range(&self, lo: usize, hi: usize) -> &mut [T] {
         assert!(lo <= hi && hi <= self.len, "range {lo}..{hi} out of {}", self.len);
+        // SAFETY: bounds checked above; disjointness from other live
+        // borrows is the caller's contract (see `# Safety`).
         unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) }
     }
 }
@@ -430,7 +464,7 @@ pub fn tree_combine_f64(buf: &mut [f64], width: usize, rows: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use crate::sync::real::{AtomicU64, AtomicUsize, Ordering};
 
     /// Deterministically "compute" a value for a chunk.
     fn chunk_value(chunk: usize) -> u64 {
@@ -441,6 +475,7 @@ mod tests {
         let mut out = vec![0u64; n_chunks];
         let shared = SharedSlice::new(&mut out);
         pool.run(n_chunks, |_worker, chunk| {
+            // SAFETY: each chunk touches only its own index.
             let slot = unsafe { &mut shared.range(chunk, chunk + 1)[0] };
             *slot = chunk_value(chunk);
         });

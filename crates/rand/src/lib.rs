@@ -25,6 +25,8 @@
 //! assert!(x > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dist;
 mod splitmix;
 mod xoshiro;

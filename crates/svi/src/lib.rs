@@ -15,6 +15,8 @@
 //!
 //! The public API mirrors `mmsb-core`'s samplers so benches can swap them.
 
+#![forbid(unsafe_code)]
+
 mod digamma;
 mod sampler;
 

@@ -8,6 +8,16 @@ cargo build --release --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo test -q --offline
 
+# Unsafe-invariant lint gate: every unsafe block carries a SAFETY
+# comment, unsafe stays confined to the allowlisted modules, and
+# std::sync use inside pool/dkv goes through the sync layer.
+cargo run -q --offline -p mmsb-check --bin xlint
+
+# Concurrency model checker + lint self-tests: the pool/worker/prefetch
+# protocols stay clean across bounded-exhaustive interleavings, and the
+# checker still catches its seeded-bug shims.
+cargo test -q --offline -p mmsb-check
+
 # Pipelining contracts, called out explicitly: Single vs Double bitwise
 # identity and the zero-allocation steady state of the prefetch path.
 # (Both also run as part of the full suite above; naming them here makes
