@@ -28,7 +28,11 @@
 //! * **std-sync-confinement** — inside `crates/pool/src` and
 //!   `crates/dkv/src`, `std::sync` may be named only in the `sync`
 //!   module (`crates/pool/src/sync/`): all other code must go through
-//!   the `SyncBackend` layer so `mmsb-check` can model it.
+//!   the `SyncBackend` layer so `mmsb-check` can model it. The failure
+//!   layer is deliberately inside this fence — the retry/timeout
+//!   handshake (`crates/pool/src/retry.rs`) and the faulting store
+//!   wrapper (`crates/dkv/src/faults.rs`) stay generic over the backend,
+//!   which is what lets `model_retry.rs` explore the handshake's races.
 
 use std::fmt;
 use std::fs;
@@ -525,5 +529,20 @@ fn real() { }
         assert!(vs.iter().any(|v| v.rule == "std-sync-confinement"), "{vs:?}");
         assert!(lint_file("crates/pool/src/sync/real.rs", src).is_empty());
         assert!(lint_file("crates/graph/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fault_layer_stays_inside_the_sync_fence() {
+        // The retry handshake and the faulting store must stay generic
+        // over `SyncBackend`: a direct `std::sync` import in either
+        // would silently drop them out of the model-checked set.
+        let src = "use std::sync::Condvar;";
+        for rel in ["crates/pool/src/retry.rs", "crates/dkv/src/faults.rs"] {
+            let vs = lint_file(rel, src);
+            assert!(
+                vs.iter().any(|v| v.rule == "std-sync-confinement"),
+                "{rel}: {vs:?}"
+            );
+        }
     }
 }

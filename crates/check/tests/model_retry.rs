@@ -1,0 +1,121 @@
+//! Model checking of the stop-and-wait retry/timeout handshake
+//! (`mmsb-pool` `retry.rs`) — the protocol core behind `mmsb-comm`'s
+//! `ReliableEndpoint` and the fault layer's bounded-retry sends.
+//!
+//! The handshake's races are exactly what the checker explores: the
+//! retransmission timer firing *just* as the ack arrives, a retransmit
+//! landing after the original was already consumed (duplicate), and the
+//! ack notify racing the sender blocking. The negative control seeds the
+//! classic ARQ bug — a sender that gives up after one timeout without
+//! retransmitting or closing — and the checker must report the stranded
+//! receiver as a deadlock.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::Arc;
+
+use mmsb_check::model::{self, explore, Config, ModelSync, RaceCell, ViolationKind};
+use mmsb_pool::{ReliableLinkIn, SendOutcome};
+
+type Link = ReliableLinkIn<ModelSync>;
+
+fn cfg() -> Config {
+    Config {
+        preemption_bound: 2,
+        max_executions: 20_000,
+        max_steps: 50_000,
+        ..Config::default()
+    }
+}
+
+/// Attempt 0 is dropped by the fabric; a retry gets through. In *every*
+/// interleaving — timer beating the ack, ack beating the timer, the
+/// receiver lagging the whole exchange — the receiver must consume the
+/// value exactly once, and the sender must have retransmitted.
+#[test]
+fn lost_first_attempt_delivers_exactly_once_in_all_schedules() {
+    let report = explore(&cfg(), || {
+        let link = Link::new();
+        let rx_link = link.clone();
+        let count = Arc::new(RaceCell::new("recv-count", 0u64));
+        let value = Arc::new(RaceCell::new("recv-value", 0u64));
+        let (count_rx, value_rx) = (Arc::clone(&count), Arc::clone(&value));
+        let rx = model::spawn("receiver", move || {
+            while let Some(v) = rx_link.recv_next() {
+                count_rx.set(count_rx.get() + 1);
+                value_rx.set(v);
+            }
+        });
+        let outcome = link.send_reliable(1, 42, &|_seq: u64, a: u32| a >= 1, 2);
+        link.close();
+        model::join(rx);
+        // The sender may see the ack (Delivered) or exhaust its budget
+        // while the receiver lags (the queued copy is still consumed on
+        // drain) — but it always needed more than one transmission, and
+        // the watermark always deduplicates down to exactly one value.
+        match outcome {
+            SendOutcome::Delivered { attempts } => assert!(attempts >= 2, "{attempts}"),
+            SendOutcome::Exhausted { attempts } => assert_eq!(attempts, 3),
+        }
+        assert_eq!(count.get(), 1, "exactly-once delivery violated");
+        assert_eq!(value.get(), 42);
+    });
+    report.assert_ok();
+}
+
+/// The fabric duplicates a delivery (a retransmit lands after the
+/// original already arrived). The receiver's high-water mark must
+/// swallow the copy — one consume, then a clean close — with the re-ack
+/// notify racing everything else.
+#[test]
+fn duplicate_delivery_is_suppressed_in_all_schedules() {
+    let report = explore(&cfg(), || {
+        let link = Link::new();
+        let rx_link = link.clone();
+        let count = Arc::new(RaceCell::new("recv-count", 0u64));
+        let value = Arc::new(RaceCell::new("recv-value", 0u64));
+        let (count_rx, value_rx) = (Arc::clone(&count), Arc::clone(&value));
+        let rx = model::spawn("receiver", move || {
+            while let Some(v) = rx_link.recv_next() {
+                count_rx.set(count_rx.get() + 1);
+                value_rx.set(v);
+            }
+        });
+        link.offer(1, 99, true);
+        link.offer(1, 99, true); // the retransmit that wasn't needed
+        link.close();
+        model::join(rx);
+        assert_eq!(count.get(), 1, "duplicate leaked through the watermark");
+        assert_eq!(value.get(), 99);
+    });
+    report.assert_ok();
+    assert!(report.complete, "duplicate suppression should be fully explorable");
+}
+
+/// Negative control — the ARQ bug the retry loop exists to prevent: the
+/// sender's only transmission is lost, and on the first timeout it gives
+/// up *without* retransmitting or closing the link. The receiver then
+/// waits for a delivery that can never come, and the checker must
+/// report the stranded thread as a deadlock.
+#[test]
+fn giving_up_after_one_timeout_strands_the_receiver() {
+    let report = explore(&cfg(), || {
+        let link = Link::new();
+        let rx_link = link.clone();
+        let rx = model::spawn("receiver", move || {
+            let _ = rx_link.recv_next();
+        });
+        link.offer(1, 7, false); // the fabric ate the only attempt
+        let timer = link.arm_timeout();
+        let _ = link.await_ack(1, timer);
+        // BUG: no retransmit, no close — the receiver is stranded.
+        model::join(rx);
+    });
+    let v = report.violation.expect("stranded receiver must be caught");
+    assert_eq!(v.kind, ViolationKind::Deadlock);
+    assert!(
+        v.trace.contains("receiver") || v.message.contains("receiver"),
+        "the stuck receiver shows in the report: {}",
+        v.message
+    );
+}

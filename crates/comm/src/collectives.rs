@@ -68,21 +68,99 @@ pub fn reduce_sum_f64(
     }
 }
 
+/// First byte of an all-reduce result frame: the payload is the sum.
+const TAG_DATA: u8 = 0;
+/// First byte of an all-reduce result frame: a contributor died; the
+/// payload is its rank as a little-endian `u64`.
+const TAG_ABORT: u8 = 1;
+
 /// All-reduce: every rank returns the element-wise sum.
+///
+/// Partial-failure contract: if a contributor's endpoint is gone, the
+/// root detects it, broadcasts an abort frame naming the dead rank to
+/// the remaining live ranks, and *every* survivor (root included)
+/// returns `CommError::Disconnected { peer: dead }` — no rank hangs.
 pub fn allreduce_sum_f64(ep: &Endpoint, data: &[f64]) -> Result<Vec<f64>, CommError> {
     let root = 0;
-    let reduced = reduce_sum_f64(ep, root, data)?;
-    let bytes = if ep.rank() == root {
-        let mut w = MessageWriter::new();
-        w.put_f64_slice(&reduced.expect("root has the reduction"));
-        broadcast_bytes(ep, root, w.finish())?
+    if ep.rank() == root {
+        let mut acc = data.to_vec();
+        let mut dead: Option<usize> = None;
+        for r in 1..ep.size() {
+            match ep.recv(r) {
+                Ok(bytes) => {
+                    let mut reader = MessageReader::new(&bytes);
+                    let contrib = reader.get_f64_slice()?;
+                    reader.finish()?;
+                    if contrib.len() != acc.len() {
+                        return Err(CommError::Malformed {
+                            reason: format!(
+                                "allreduce length mismatch: root has {}, rank {r} sent {}",
+                                acc.len(),
+                                contrib.len()
+                            ),
+                        });
+                    }
+                    for (a, c) in acc.iter_mut().zip(&contrib) {
+                        *a += c;
+                    }
+                }
+                Err(CommError::Disconnected { peer }) => {
+                    dead = Some(peer);
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let frame = match dead {
+            None => {
+                let mut w = MessageWriter::with_capacity(1 + 8 + acc.len() * 8);
+                let mut bytes = vec![TAG_DATA];
+                w.put_f64_slice(&acc);
+                bytes.extend_from_slice(&w.finish());
+                bytes
+            }
+            Some(d) => {
+                let mut bytes = vec![TAG_ABORT];
+                bytes.extend_from_slice(&(d as u64).to_le_bytes());
+                bytes
+            }
+        };
+        // Best-effort delivery to whoever is still there: a rank that
+        // died mid-collective must not strand the others.
+        for r in 1..ep.size() {
+            if ep.is_alive(r) {
+                let _ = ep.send(r, frame.clone());
+            }
+        }
+        match dead {
+            None => Ok(acc),
+            Some(d) => Err(CommError::Disconnected { peer: d }),
+        }
     } else {
-        broadcast_bytes(ep, root, Vec::new())?
-    };
-    let mut reader = MessageReader::new(&bytes);
-    let out = reader.get_f64_slice()?;
-    reader.finish()?;
-    Ok(out)
+        let mut w = MessageWriter::with_capacity(8 + data.len() * 8);
+        w.put_f64_slice(data);
+        ep.send(root, w.finish())?;
+        let bytes = ep.recv(root)?;
+        match bytes.split_first() {
+            Some((&TAG_DATA, rest)) => {
+                let mut reader = MessageReader::new(rest);
+                let out = reader.get_f64_slice()?;
+                reader.finish()?;
+                Ok(out)
+            }
+            Some((&TAG_ABORT, rest)) => {
+                let d: [u8; 8] = rest.try_into().map_err(|_| CommError::Malformed {
+                    reason: "short abort frame".into(),
+                })?;
+                Err(CommError::Disconnected {
+                    peer: u64::from_le_bytes(d) as usize,
+                })
+            }
+            _ => Err(CommError::Malformed {
+                reason: "allreduce frame missing tag".into(),
+            }),
+        }
+    }
 }
 
 /// Scatter per-rank byte payloads from `root`; every rank (including the

@@ -46,8 +46,10 @@ pub mod message;
 pub mod tree;
 
 mod local;
+mod reliable;
 
 pub use local::{Endpoint, LocalCluster};
+pub use reliable::{ReliableEndpoint, SendReport};
 
 /// Errors surfaced by communicator operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +71,12 @@ pub enum CommError {
         /// Explanation of the mismatch.
         reason: String,
     },
+    /// A `recv` with a per-stage deadline elapsed while the peer was
+    /// still alive but silent.
+    Timeout {
+        /// The rank that failed to deliver in time.
+        peer: usize,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -79,6 +87,9 @@ impl std::fmt::Display for CommError {
                 write!(f, "rank {rank} out of range for cluster of {size}")
             }
             CommError::Malformed { reason } => write!(f, "malformed message: {reason}"),
+            CommError::Timeout { peer } => {
+                write!(f, "timed out waiting for rank {peer}")
+            }
         }
     }
 }

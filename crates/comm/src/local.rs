@@ -6,8 +6,13 @@
 //! meant to be moved into its rank's thread.
 
 use crate::CommError;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// How often a blocked `recv` re-checks peer liveness and its deadline.
+const LIVENESS_POLL: Duration = Duration::from_millis(1);
 
 /// One rank's handle to the cluster.
 pub struct Endpoint {
@@ -21,6 +26,20 @@ pub struct Endpoint {
     barrier: Arc<Barrier>,
     /// Out-of-order messages parked until a matching `recv` asks for them.
     pending: std::cell::RefCell<Vec<(usize, Vec<u8>)>>,
+    /// `alive[r]` is cleared when rank `r`'s endpoint drops. Because every
+    /// endpoint holds sender clones for the whole mesh, a dead peer's
+    /// channel never disconnects on its own — this registry is how a
+    /// blocked `recv` learns its peer is gone instead of hanging forever.
+    alive: Arc<Vec<AtomicBool>>,
+    /// Optional per-`recv` deadline (a collective's per-stage timeout).
+    /// `None` waits until the peer delivers or dies.
+    deadline: std::cell::Cell<Option<Duration>>,
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.alive[self.rank].store(false, Ordering::Release);
+    }
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -51,6 +70,8 @@ impl LocalCluster {
             receivers.push(rx);
         }
         let barrier = Arc::new(Barrier::new(ranks));
+        let alive: Arc<Vec<AtomicBool>> =
+            Arc::new((0..ranks).map(|_| AtomicBool::new(true)).collect());
         receivers
             .into_iter()
             .enumerate()
@@ -61,6 +82,8 @@ impl LocalCluster {
                 receiver,
                 barrier: Arc::clone(&barrier),
                 pending: std::cell::RefCell::new(Vec::new()),
+                alive: Arc::clone(&alive),
+                deadline: std::cell::Cell::new(None),
             })
             .collect()
     }
@@ -91,9 +114,27 @@ impl Endpoint {
             .map_err(|_| CommError::Disconnected { peer: to })
     }
 
+    /// Whether rank `r`'s endpoint is still alive (not yet dropped).
+    pub fn is_alive(&self, r: usize) -> bool {
+        r < self.size && self.alive[r].load(Ordering::Acquire)
+    }
+
+    /// Set the per-`recv` deadline. `Some(d)`: a `recv` that waits longer
+    /// than `d` on a *live* peer fails with [`CommError::Timeout`] (the
+    /// collective layer's per-stage timeout). `None` (the default): wait
+    /// until the peer delivers or dies.
+    pub fn set_timeout(&self, deadline: Option<Duration>) {
+        self.deadline.set(deadline);
+    }
+
     /// Receive the next message *from rank `from`*, blocking. Messages from
     /// other ranks that arrive first are buffered for later matching
     /// `recv` calls (MPI source-matching semantics).
+    ///
+    /// A wait on a dead peer fails with [`CommError::Disconnected`] once
+    /// everything the peer sent before dying has been consumed — it never
+    /// hangs. With a deadline set ([`Endpoint::set_timeout`]), a wait on a
+    /// live-but-silent peer fails with [`CommError::Timeout`].
     pub fn recv(&self, from: usize) -> Result<Vec<u8>, CommError> {
         if from >= self.size {
             return Err(CommError::RankOutOfRange {
@@ -110,15 +151,38 @@ impl Endpoint {
                 return Ok(pending.remove(i).1);
             }
         }
+        let start = Instant::now();
         loop {
-            let (src, payload) = self
-                .receiver
-                .recv()
-                .map_err(|_| CommError::Disconnected { peer: from })?;
-            if src == from {
-                return Ok(payload);
+            match self.receiver.recv_timeout(LIVENESS_POLL) {
+                Ok((src, payload)) => {
+                    if src == from {
+                        return Ok(payload);
+                    }
+                    self.pending.borrow_mut().push((src, payload));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { peer: from });
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if !self.alive[from].load(Ordering::Acquire) {
+                        // The peer died — but it may have delivered the
+                        // message between our poll and the liveness read,
+                        // so drain the channel before giving up.
+                        while let Ok((src, payload)) = self.receiver.try_recv() {
+                            if src == from {
+                                return Ok(payload);
+                            }
+                            self.pending.borrow_mut().push((src, payload));
+                        }
+                        return Err(CommError::Disconnected { peer: from });
+                    }
+                    if let Some(d) = self.deadline.get() {
+                        if start.elapsed() >= d {
+                            return Err(CommError::Timeout { peer: from });
+                        }
+                    }
+                }
             }
-            self.pending.borrow_mut().push((src, payload));
         }
     }
 

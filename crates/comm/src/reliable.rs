@@ -1,0 +1,266 @@
+//! Reliable delivery over a lossy fabric: stop-and-wait ARQ.
+//!
+//! [`ReliableEndpoint`] wraps an [`Endpoint`] and a [`FaultPlan`]: every
+//! point-to-point send is stamped with a per-destination sequence number
+//! and retransmitted until the receiver acknowledges it, and the receiver
+//! de-duplicates by a per-source high-water mark — so the application
+//! sees exactly-once, in-order delivery even when the plan drops,
+//! duplicates, or delays frames. The concurrency core of this protocol
+//! (the ack/timeout race, duplicate suppression) is the
+//! `mmsb_pool::retry::ReliableLinkIn` handshake, which `mmsb-check`
+//! model-checks on its deterministic scheduler; this module is the wire
+//! instantiation of the same design.
+//!
+//! Injected faults are *modeled* at the send site: a "dropped" frame is
+//! simply never put on the channel, a "duplicated" frame is sent twice,
+//! and a "delayed" frame is sent once with its extra in-flight time
+//! accumulated into the [`SendReport`] — the caller charges that to the
+//! virtual clocks, keeping wall-clock test time independent of the
+//! modeled delay.
+
+use crate::{CommError, Endpoint};
+use mmsb_netsim::{FaultPlan, MsgFault, RecoveryPolicy};
+use std::cell::RefCell;
+use std::time::Duration;
+
+/// Frame tag: an application payload.
+const TAG_MSG: u8 = 2;
+/// Frame tag: an acknowledgment.
+const TAG_ACK: u8 = 3;
+
+/// What one reliable send cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SendReport {
+    /// Transmissions performed (1 = delivered first try).
+    pub attempts: u32,
+    /// Modeled extra seconds: retransmission timeouts, backoff, and
+    /// injected delivery delays.
+    pub recovery_seconds: f64,
+}
+
+/// An [`Endpoint`] with at-least-once retransmission and receive-side
+/// de-duplication, yielding exactly-once in-order payload delivery.
+pub struct ReliableEndpoint {
+    ep: Endpoint,
+    plan: FaultPlan,
+    policy: RecoveryPolicy,
+    /// Next sequence number per destination (starts at 1).
+    next_seq: RefCell<Vec<u64>>,
+    /// Highest delivered sequence number per source.
+    watermark: RefCell<Vec<u64>>,
+    /// Payload frames that arrived while we were waiting for an ack.
+    parked: RefCell<Vec<(usize, u64, Vec<u8>)>>,
+    /// Real wall-clock the sender waits for an ack before retransmitting.
+    ack_wait: Duration,
+}
+
+impl ReliableEndpoint {
+    /// Wrap `ep`. The plan decides which transmissions the fabric loses;
+    /// the policy bounds retries and prices the backoff.
+    pub fn new(ep: Endpoint, plan: FaultPlan, policy: RecoveryPolicy) -> Self {
+        let size = ep.size();
+        Self {
+            ep,
+            plan,
+            policy,
+            next_seq: RefCell::new(vec![1; size]),
+            watermark: RefCell::new(vec![0; size]),
+            parked: RefCell::new(Vec::new()),
+            ack_wait: Duration::from_millis(20),
+        }
+    }
+
+    /// The wrapped endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.ep.rank()
+    }
+
+    /// Cluster size.
+    pub fn size(&self) -> usize {
+        self.ep.size()
+    }
+
+    fn frame_msg(seq: u64, payload: &[u8]) -> Vec<u8> {
+        let mut f = Vec::with_capacity(9 + payload.len());
+        f.push(TAG_MSG);
+        f.extend_from_slice(&seq.to_le_bytes());
+        f.extend_from_slice(payload);
+        f
+    }
+
+    fn parse(bytes: &[u8]) -> Result<(u8, u64, &[u8]), CommError> {
+        let (&tag, rest) = bytes.split_first().ok_or_else(|| CommError::Malformed {
+            reason: "empty frame".into(),
+        })?;
+        if rest.len() < 8 {
+            return Err(CommError::Malformed {
+                reason: "frame missing sequence number".into(),
+            });
+        }
+        let (seq, payload) = rest.split_at(8);
+        let seq = u64::from_le_bytes(seq.try_into().expect("8 bytes"));
+        Ok((tag, seq, payload))
+    }
+
+    /// One transmission of `(seq, payload)` to `to`, with the plan's
+    /// fabric fault applied. Returns the modeled extra seconds.
+    fn transmit(&self, to: usize, seq: u64, payload: &[u8], attempt: u32) -> f64 {
+        // The attempt folds into the fault coordinate so a retransmission
+        // draws a fresh fate instead of inheriting the original drop.
+        let coord = seq.wrapping_mul(64).wrapping_add(attempt as u64);
+        match self.plan.message_fault(self.ep.rank(), to, coord) {
+            Some(MsgFault::Drop) => 0.0, // the fabric ate it
+            Some(MsgFault::Duplicate) => {
+                let frame = Self::frame_msg(seq, payload);
+                let _ = self.ep.send(to, frame.clone());
+                let _ = self.ep.send(to, frame);
+                0.0
+            }
+            Some(MsgFault::Delay(secs)) => {
+                let _ = self.ep.send(to, Self::frame_msg(seq, payload));
+                secs
+            }
+            None => {
+                let _ = self.ep.send(to, Self::frame_msg(seq, payload));
+                0.0
+            }
+        }
+    }
+
+    /// Send `payload` to `to` reliably: transmit, await the ack for up to
+    /// [`Self::ack_wait`], retransmit up to the policy's retry budget.
+    ///
+    /// Payload frames from `to` that arrive while waiting are parked for
+    /// a later [`ReliableEndpoint::recv`] — two ranks may send to each
+    /// other concurrently without deadlocking.
+    pub fn send(&self, to: usize, payload: &[u8]) -> Result<SendReport, CommError> {
+        let seq = {
+            let mut seqs = self.next_seq.borrow_mut();
+            let s = seqs[to];
+            seqs[to] += 1;
+            s
+        };
+        let site = ((self.ep.rank() as u64) << 32) ^ (to as u64) ^ seq.rotate_left(17);
+        let mut recovery = 0.0;
+        for attempt in 0..=self.policy.max_retries {
+            recovery += self.transmit(to, seq, payload, attempt);
+            if self.await_ack(to, seq)? {
+                return Ok(SendReport {
+                    attempts: attempt + 1,
+                    recovery_seconds: recovery,
+                });
+            }
+            // Timed out: model the wait plus the backoff before retrying.
+            recovery += self.policy.stage_timeout + self.policy.backoff(&self.plan, site, attempt);
+        }
+        Err(CommError::Timeout { peer: to })
+    }
+
+    /// Wait up to `ack_wait` for the ack of `(to, seq)`, parking payload
+    /// frames and re-acking duplicates as they arrive. `Ok(false)` means
+    /// the wait timed out and the caller should retransmit.
+    fn await_ack(&self, to: usize, seq: u64) -> Result<bool, CommError> {
+        self.ep.set_timeout(Some(self.ack_wait));
+        let acked = loop {
+            match self.ep.recv(to) {
+                Ok(bytes) => {
+                    let (tag, got_seq, payload) = Self::parse(&bytes)?;
+                    match tag {
+                        TAG_ACK if got_seq >= seq => break true,
+                        TAG_ACK => {} // stale ack of an earlier message
+                        TAG_MSG => self.park_or_ack(to, got_seq, payload),
+                        t => {
+                            self.ep.set_timeout(None);
+                            return Err(CommError::Malformed {
+                                reason: format!("unknown frame tag {t}"),
+                            });
+                        }
+                    }
+                }
+                Err(CommError::Timeout { .. }) => break false,
+                Err(e) => {
+                    self.ep.set_timeout(None);
+                    return Err(e);
+                }
+            }
+        };
+        self.ep.set_timeout(None);
+        Ok(acked)
+    }
+
+    /// Handle an incoming payload frame from `from`: ack it, and park it
+    /// for `recv` unless it is a duplicate of something already consumed.
+    fn park_or_ack(&self, from: usize, seq: u64, payload: &[u8]) {
+        let wm = self.watermark.borrow_mut();
+        let duplicate = seq <= wm[from]
+            || self
+                .parked
+                .borrow()
+                .iter()
+                .any(|&(src, s, _)| src == from && s == seq);
+        let mut ack = Vec::with_capacity(9);
+        ack.push(TAG_ACK);
+        ack.extend_from_slice(&seq.to_le_bytes());
+        let _ = self.ep.send(from, ack);
+        if !duplicate {
+            // Parking, not consuming: the watermark advances in `recv`.
+            drop(wm);
+            self.parked.borrow_mut().push((from, seq, payload.to_vec()));
+        }
+    }
+
+    /// Receive the next payload from `from` — exactly once, in order.
+    pub fn recv(&self, from: usize) -> Result<Vec<u8>, CommError> {
+        let expected = self.watermark.borrow()[from] + 1;
+        loop {
+            // A frame parked during an ack wait may already be the one.
+            {
+                let mut parked = self.parked.borrow_mut();
+                if let Some(i) = parked
+                    .iter()
+                    .position(|&(src, seq, _)| src == from && seq == expected)
+                {
+                    let (_, seq, payload) = parked.remove(i);
+                    drop(parked);
+                    self.watermark.borrow_mut()[from] = seq;
+                    return Ok(payload);
+                }
+            }
+            let bytes = self.ep.recv(from)?;
+            let (tag, seq, payload) = Self::parse(&bytes)?;
+            match tag {
+                TAG_MSG => {
+                    let mut ack = Vec::with_capacity(9);
+                    ack.push(TAG_ACK);
+                    ack.extend_from_slice(&seq.to_le_bytes());
+                    let _ = self.ep.send(from, ack);
+                    if seq == expected {
+                        self.watermark.borrow_mut()[from] = seq;
+                        return Ok(payload.to_vec());
+                    }
+                    // Duplicate (or stale) frame: acked above, dropped here.
+                }
+                TAG_ACK => {} // ack for a send of ours that already gave up waiting
+                t => {
+                    return Err(CommError::Malformed {
+                        reason: format!("unknown frame tag {t}"),
+                    })
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ReliableEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReliableEndpoint")
+            .field("rank", &self.ep.rank())
+            .field("size", &self.ep.size())
+            .finish()
+    }
+}

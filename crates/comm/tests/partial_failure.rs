@@ -1,0 +1,160 @@
+//! Partial-failure behavior of the communicator: a rank dying
+//! mid-collective must surface `CommError::Disconnected { peer }` with
+//! the *correct* peer on every survivor — never a hang — and the
+//! reliable layer must deliver exactly-once over a lossy fabric.
+
+use mmsb_comm::{collectives, CommError, LocalCluster, ReliableEndpoint};
+use mmsb_netsim::{FaultConfig, FaultPlan, RecoveryPolicy};
+use std::thread;
+use std::time::Duration;
+
+#[test]
+fn dead_contributor_fails_allreduce_on_all_survivors() {
+    let eps = LocalCluster::spawn(4);
+    let dead_rank = 2usize;
+    let handles: Vec<_> = eps
+        .into_iter()
+        .map(|ep| {
+            thread::spawn(move || {
+                if ep.rank() == dead_rank {
+                    // Dies before contributing; dropping the endpoint is
+                    // the simulated crash.
+                    return None;
+                }
+                Some(collectives::allreduce_sum_f64(&ep, &[ep.rank() as f64]))
+            })
+        })
+        .collect();
+    for (rank, h) in handles.into_iter().enumerate() {
+        let result = h.join().unwrap();
+        if rank == dead_rank {
+            assert!(result.is_none());
+        } else {
+            assert_eq!(
+                result.unwrap(),
+                Err(CommError::Disconnected { peer: dead_rank }),
+                "survivor rank {rank} must name the dead contributor"
+            );
+        }
+    }
+}
+
+#[test]
+fn contributor_dying_after_sending_still_aborts_cleanly() {
+    // The dead rank's contribution *arrives* at the root, but the rank is
+    // gone by broadcast time: the root must skip it (best-effort) and the
+    // other survivors still get the sum.
+    let eps = LocalCluster::spawn(3);
+    let handles: Vec<_> = eps
+        .into_iter()
+        .map(|ep| {
+            thread::spawn(move || {
+                if ep.rank() == 1 {
+                    // Contribute by hand, then die before the broadcast.
+                    let mut w = mmsb_comm::message::MessageWriter::new();
+                    w.put_f64_slice(&[1.0]);
+                    ep.send(0, w.finish()).unwrap();
+                    return None;
+                }
+                if ep.rank() == 0 {
+                    // Give rank 1 time to send and die so the root's
+                    // broadcast really faces a dead destination.
+                    thread::sleep(Duration::from_millis(50));
+                }
+                Some(collectives::allreduce_sum_f64(&ep, &[ep.rank() as f64]))
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Root reduced 0 + 1 + 2 and must not have errored out.
+    assert_eq!(results[0], Some(Ok(vec![3.0])));
+    assert_eq!(results[1], None);
+    assert_eq!(results[2], Some(Ok(vec![3.0])));
+}
+
+#[test]
+fn dead_root_fails_scatter_on_all_survivors() {
+    let eps = LocalCluster::spawn(3);
+    let handles: Vec<_> = eps
+        .into_iter()
+        .map(|ep| {
+            thread::spawn(move || {
+                if ep.rank() == 0 {
+                    return None; // the root dies before scattering
+                }
+                Some(collectives::scatter_bytes(&ep, 0, None))
+            })
+        })
+        .collect();
+    for (rank, h) in handles.into_iter().enumerate() {
+        let result = h.join().unwrap();
+        if rank == 0 {
+            assert!(result.is_none());
+        } else {
+            assert_eq!(
+                result.unwrap(),
+                Err(CommError::Disconnected { peer: 0 }),
+                "survivor rank {rank} must name the dead root"
+            );
+        }
+    }
+}
+
+#[test]
+fn recv_from_live_but_silent_peer_times_out() {
+    let mut eps = LocalCluster::spawn(2);
+    let b = eps.pop().unwrap();
+    let a = eps.pop().unwrap();
+    let t = thread::spawn(move || {
+        // Stay alive and silent past b's deadline, then deliver.
+        thread::sleep(Duration::from_millis(150));
+        a.send(1, vec![5]).unwrap();
+        // Hold the endpoint open until b confirms receipt.
+        a.recv(1).unwrap();
+    });
+    b.set_timeout(Some(Duration::from_millis(30)));
+    assert_eq!(b.recv(0), Err(CommError::Timeout { peer: 0 }));
+    // Clearing the deadline lets the late message through.
+    b.set_timeout(None);
+    assert_eq!(b.recv(0), Ok(vec![5]));
+    b.send(0, vec![]).unwrap();
+    t.join().unwrap();
+}
+
+#[test]
+fn reliable_exchange_over_lossy_fabric_is_exactly_once_in_order() {
+    let mut eps = LocalCluster::spawn(2);
+    let rx_ep = eps.pop().unwrap();
+    let tx_ep = eps.pop().unwrap();
+    // Heavy loss: drops, duplicates and delays on every link.
+    let plan = FaultPlan::new(FaultConfig::transient(1234));
+    let policy = RecoveryPolicy {
+        max_retries: 16,
+        ..RecoveryPolicy::default()
+    };
+    let n = 40u64;
+    let tx = thread::spawn(move || {
+        let rep = ReliableEndpoint::new(tx_ep, plan, policy);
+        let mut reports = Vec::new();
+        for i in 0..n {
+            reports.push(rep.send(1, &i.to_le_bytes()).unwrap());
+        }
+        // Stay alive until the receiver confirms it got everything.
+        rep.endpoint().recv(1).unwrap();
+        reports
+    });
+    let rep = ReliableEndpoint::new(rx_ep, plan, policy);
+    let mut got = Vec::new();
+    for _ in 0..n {
+        let payload = rep.recv(0).unwrap();
+        got.push(u64::from_le_bytes(payload.as_slice().try_into().unwrap()));
+    }
+    // Best-effort: the sender may already have seen a stale duplicate ack
+    // and exited, which is fine — it has nothing left to deliver.
+    let _ = rep.endpoint().send(0, Vec::new());
+    let reports = tx.join().unwrap();
+    assert_eq!(got, (0..n).collect::<Vec<u64>>(), "loss broke exactly-once");
+    let retried = reports.iter().filter(|r| r.attempts > 1).count();
+    assert!(retried > 0, "10% drop rate never forced a retry in {n} sends");
+    assert!(reports.iter().any(|r| r.recovery_seconds > 0.0));
+}

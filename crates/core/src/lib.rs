@@ -60,6 +60,7 @@ pub mod diagnostics;
 pub mod eval;
 pub mod kernels;
 
+mod checkpoint;
 mod compute_model;
 mod config;
 mod perplexity;
@@ -69,6 +70,7 @@ mod sampler;
 mod state;
 mod workspace;
 
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use compute_model::NodeComputeModel;
 pub use config::{SamplerConfig, StateLayout, StepSize};
 pub use perplexity::{link_probability, PerplexityAccumulator};
@@ -94,6 +96,8 @@ pub enum CoreError {
     },
     /// A distributed-store failure (propagated from `mmsb-dkv`).
     Store(mmsb_dkv::DkvError),
+    /// A checkpoint failed to encode, decode, or match the sampler.
+    Checkpoint(checkpoint::CheckpointError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -102,6 +106,7 @@ impl std::fmt::Display for CoreError {
             CoreError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
             CoreError::GraphTooSmall { reason } => write!(f, "graph too small: {reason}"),
             CoreError::Store(e) => write!(f, "store error: {e}"),
+            CoreError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -110,6 +115,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Store(e) => Some(e),
+            CoreError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -118,6 +124,12 @@ impl std::error::Error for CoreError {
 impl From<mmsb_dkv::DkvError> for CoreError {
     fn from(e: mmsb_dkv::DkvError) -> Self {
         CoreError::Store(e)
+    }
+}
+
+impl From<checkpoint::CheckpointError> for CoreError {
+    fn from(e: checkpoint::CheckpointError) -> Self {
+        CoreError::Checkpoint(e)
     }
 }
 

@@ -77,6 +77,17 @@ impl PerplexityAccumulator {
         self.samples += 1;
     }
 
+    /// Snapshot the internals for checkpointing: the per-pair probability
+    /// sums and the sample count.
+    pub fn snapshot(&self) -> (&[f64], u64) {
+        (&self.prob_sums, self.samples)
+    }
+
+    /// Rebuild an accumulator from a checkpoint snapshot.
+    pub fn from_snapshot(prob_sums: Vec<f64>, samples: u64) -> Self {
+        Self { prob_sums, samples }
+    }
+
     /// The averaged perplexity over everything recorded so far:
     /// `exp(-(1/|E_h|) sum_i log((1/T) sum_t p_t(y_i)))`.
     ///

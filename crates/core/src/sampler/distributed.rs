@@ -20,16 +20,20 @@
 //! its pair share, then shares are summed in rank order).
 
 use super::Engine;
+use crate::checkpoint::Checkpoint;
 use crate::communities::Communities;
 use crate::compute_model::NodeComputeModel;
 use crate::config::{SamplerConfig, StateLayout};
 use crate::kernels::RowView;
 use crate::{CoreError, ModelState};
 use mmsb_dkv::pipeline::{ChunkedReader, PipelineMode, PrefetchingReader, ReaderScratch};
-use mmsb_dkv::{DkvStore, Partition, ShardedStore};
+use mmsb_dkv::{DkvStore, FaultingStore, Partition, ShardedStore};
 use mmsb_graph::heldout::HeldOut;
 use mmsb_graph::{Graph, VertexId};
-use mmsb_netsim::{collective, ClusterClocks, NetworkModel, Phase, PhaseTimes, TraceReport};
+use mmsb_netsim::{
+    collective, ClusterClocks, DkvFault, FaultConfig, FaultPlan, MsgFault, NetworkModel, Phase,
+    PhaseTimes, RecoveryPolicy, TraceReport,
+};
 use mmsb_rand::Xoshiro256PlusPlus;
 use std::time::Instant;
 
@@ -52,6 +56,17 @@ pub struct DistributedConfig {
     /// mini-batch vertices overlap). Affects modeled wire time only — the
     /// data delivered is identical either way.
     pub dedup_reads: bool,
+    /// Seeded fault schedule, or `None` for a fault-free cluster.
+    ///
+    /// Transient faults (failed/slow DKV operations, lost/duplicated/
+    /// delayed messages, stragglers) change only the *modeled time*: every
+    /// retry re-executes to the same bytes, so the chain stays
+    /// bitwise-identical to the fault-free run. A `kill_worker` entry is
+    /// permanent: the sampler rewinds to its last checkpoint and continues
+    /// on `R - 1` workers.
+    pub faults: Option<FaultConfig>,
+    /// Retry/backoff/timeout parameters used when faults are injected.
+    pub recovery: RecoveryPolicy,
 }
 
 impl DistributedConfig {
@@ -65,7 +80,21 @@ impl DistributedConfig {
             pipeline: PipelineMode::Double,
             chunk_vertices: 16,
             dedup_reads: false,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
         }
+    }
+
+    /// Inject the given fault schedule.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Override the recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// Toggle read combining.
@@ -103,6 +132,23 @@ impl DistributedConfig {
                 reason: "chunk_vertices must be positive".into(),
             });
         }
+        if let Some(f) = &self.faults {
+            if let Some((_, rank)) = f.kill_worker {
+                if rank >= self.workers {
+                    return Err(CoreError::InvalidConfig {
+                        reason: format!(
+                            "kill_worker rank {rank} out of range for {} workers",
+                            self.workers
+                        ),
+                    });
+                }
+                if self.workers < 2 {
+                    return Err(CoreError::InvalidConfig {
+                        reason: "cannot lose the only worker".into(),
+                    });
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -111,7 +157,22 @@ impl DistributedConfig {
 pub struct DistributedSampler {
     engine: Engine,
     dcfg: DistributedConfig,
-    store: ShardedStore,
+    /// The sharded `pi` store behind the fault-injection layer. With no
+    /// faults configured the layer passes every operation straight
+    /// through at zero cost.
+    store: FaultingStore,
+    /// The fault schedule (a no-op plan when `dcfg.faults` is `None`).
+    plan: FaultPlan,
+    policy: RecoveryPolicy,
+    /// Set once a permanent worker loss has been absorbed (at most one
+    /// kill per schedule).
+    lost_worker: Option<usize>,
+    /// The most recent chain snapshot; the rollback point for permanent
+    /// worker loss. Captured at construction when faults are configured,
+    /// and refreshed per [`DistributedSampler::with_checkpoint_every`].
+    last_checkpoint: Option<Checkpoint>,
+    /// Refresh `last_checkpoint` every this many iterations.
+    checkpoint_every: Option<u64>,
     /// Index 0 is the master; worker `w` is rank `w + 1`.
     clocks: ClusterClocks,
     trace: PhaseTimes,
@@ -126,6 +187,13 @@ pub struct DistributedSampler {
     seg_lens: Vec<usize>,
     linked_buf: Vec<bool>,
 }
+
+/// Logical message-stage ids folded into the fabric fault coordinate so
+/// each master-rooted collective of an iteration draws independent fates.
+const STAGE_DEPLOY: u64 = 0;
+const STAGE_REDUCE: u64 = 1;
+const STAGE_BROADCAST: u64 = 2;
+const STAGE_COUNT: u64 = 3;
 
 /// Evenly split `items` into `parts` contiguous chunks (first chunks get
 /// the remainder).
@@ -172,10 +240,20 @@ impl DistributedSampler {
         let prefetch = PrefetchingReader::new(dcfg.chunk_vertices)
             .with_dedup_reads(dcfg.dedup_reads)
             .with_compute_scale(dcfg.node.scale(1.0));
+        let plan = FaultPlan::new(dcfg.faults.unwrap_or_else(|| FaultConfig::none(0)));
+        // A fault-configured run always holds a rollback point, even
+        // before the first explicit checkpoint: a kill at iteration 0
+        // must be recoverable.
+        let last_checkpoint = dcfg.faults.map(|_| Checkpoint::capture(&engine));
         Ok(Self {
             engine,
             dcfg,
-            store,
+            store: FaultingStore::new(store, plan, dcfg.recovery),
+            plan,
+            policy: dcfg.recovery,
+            lost_worker: None,
+            last_checkpoint,
+            checkpoint_every: None,
             clocks: ClusterClocks::new(dcfg.workers + 1),
             trace: PhaseTimes::new(),
             scratch: ReaderScratch::new(),
@@ -186,13 +264,93 @@ impl DistributedSampler {
         })
     }
 
-    /// Number of worker ranks.
+    /// Build a sampler whose chain continues from `ckpt` instead of the
+    /// seed initialization. The graph, held-out set, and configs must be
+    /// the ones the checkpointed run used; the restored run then produces
+    /// the bitwise-identical trajectory the uninterrupted run would have.
+    pub fn resume(
+        graph: Graph,
+        heldout: HeldOut,
+        config: SamplerConfig,
+        dcfg: DistributedConfig,
+        ckpt: &Checkpoint,
+    ) -> Result<Self, CoreError> {
+        let mut s = Self::new(graph, heldout, config, dcfg)?;
+        s.restore(ckpt)?;
+        Ok(s)
+    }
+
+    /// Refresh the in-memory rollback checkpoint every `every` iterations
+    /// (used both by kill recovery and as the snapshot
+    /// [`DistributedSampler::last_checkpoint`] exposes for persistence).
+    ///
+    /// # Panics
+    /// Panics if `every` is zero.
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.checkpoint_every = Some(every);
+        if self.last_checkpoint.is_none() {
+            self.last_checkpoint = Some(Checkpoint::capture(&self.engine));
+        }
+        self
+    }
+
+    /// Snapshot the full chain state (state arrays, theta/beta, RNG
+    /// streams, iteration, perplexity accumulator).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint::capture(&self.engine)
+    }
+
+    /// The most recent automatic checkpoint, if any.
+    pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
+        self.last_checkpoint.as_ref()
+    }
+
+    /// Install `ckpt`, rewinding (or fast-forwarding) the chain to the
+    /// captured iteration and reloading every DKV row from it. Virtual
+    /// time is *not* rewound — restoring is part of the run's history.
+    pub fn restore(&mut self, ckpt: &Checkpoint) -> Result<(), CoreError> {
+        ckpt.install(&mut self.engine)?;
+        self.reload_store()?;
+        self.last_checkpoint = Some(ckpt.clone());
+        Ok(())
+    }
+
+    /// Re-encode every vertex row from the engine state into the store.
+    fn reload_store(&mut self) -> Result<(), CoreError> {
+        let n = self.engine.graph.num_vertices();
+        let k = self.engine.config.k;
+        let mut row = vec![0.0f32; k + 1];
+        for a in 0..n {
+            self.engine.state.encode_dkv_row(a, &mut row);
+            self.store.inner_mut().write_batch(&[a], &row)?;
+        }
+        Ok(())
+    }
+
+    /// Number of worker ranks (reflects degradation after a worker loss).
     pub fn workers(&self) -> usize {
         self.dcfg.workers
     }
 
+    /// The worker permanently lost to a kill fault, if any.
+    pub fn lost_worker(&self) -> Option<usize> {
+        self.lost_worker
+    }
+
     /// Run one full iteration.
     pub fn step(&mut self) {
+        // Permanent worker loss fires at the start of its iteration: the
+        // master detects the dead rank, rewinds to the last checkpoint,
+        // and re-partitions over the survivors before drawing anything.
+        if self.lost_worker.is_none() {
+            if let Some(dead) = self.plan.kill_at(self.engine.iteration) {
+                self.degrade(dead);
+            }
+        }
+        self.store.set_iteration(self.engine.iteration);
+        let mut recovery_t = 0.0f64;
+
         let r = self.dcfg.workers;
         let k = self.engine.config.k;
         let net = self.dcfg.net;
@@ -223,7 +381,8 @@ impl DistributedSampler {
             })
             .max()
             .unwrap_or(0);
-        let deploy = collective::scatter(&net, r + 1, deploy_bytes);
+        let deploy = collective::scatter(&net, r + 1, deploy_bytes)
+            + self.collective_retry_cost(STAGE_DEPLOY, &mut recovery_t);
         self.trace.add(Phase::DeployMinibatch, deploy);
         self.clocks.advance(0, draw + deploy);
         if self.dcfg.pipeline == PipelineMode::Single {
@@ -248,6 +407,7 @@ impl DistributedSampler {
         let mut max_load = 0.0f64;
         let mut max_compute = 0.0f64;
         let mut max_wall = 0.0f64;
+        let mut max_stage_recovery = 0.0f64;
         for (w, share) in vertex_shares.iter().enumerate() {
             let rank = w + 1;
             // Sample neighbor sets (worker compute, thread-parallel on the
@@ -325,7 +485,7 @@ impl DistributedSampler {
                         .with_dedup_reads(self.dcfg.dedup_reads)
                         .with_compute_scale(node.scale(1.0))
                         .run_segments(
-                            &self.store,
+                            self.store.inner(),
                             w,
                             keys,
                             seg_lens,
@@ -340,7 +500,7 @@ impl DistributedSampler {
                     let run = self
                         .prefetch
                         .run_segments(
-                            &self.store,
+                            self.store.inner(),
                             w,
                             keys,
                             seg_lens,
@@ -356,7 +516,29 @@ impl DistributedSampler {
             self.clocks.advance(rank, stage);
             max_load = max_load.max(load_sum);
             max_compute = max_compute.max(compute_sum);
+
+            // Transient faults on this worker's load/compute stage:
+            // retried chunk reads plus a possible straggle. Decisions come
+            // from the plan alone — the data the pipeline delivered above
+            // is already final, so only modeled time changes (the faulty
+            // read-retry *data* path is what `FaultingStore`'s own tests
+            // pin down).
+            if self.dcfg.faults.is_some() {
+                let chunks = self.seg_lens.len();
+                let per_chunk = if chunks > 0 {
+                    load_sum / chunks as f64
+                } else {
+                    0.0
+                };
+                let mut worker_recovery = self.read_retry_cost(w, chunks, per_chunk);
+                if let Some(factor) = self.plan.straggler(self.engine.iteration, w) {
+                    worker_recovery += self.policy.straggler_overhead(neigh + stage, factor);
+                }
+                self.clocks.advance(rank, worker_recovery);
+                max_stage_recovery = max_stage_recovery.max(worker_recovery);
+            }
         }
+        recovery_t += max_stage_recovery;
         self.trace.add(Phase::SampleNeighbors, max_neigh);
         self.trace.add(Phase::LoadPi, max_load);
         self.trace.add(Phase::UpdatePhi, max_compute);
@@ -374,6 +556,7 @@ impl DistributedSampler {
         // rows through the store (per owning worker's share).
         self.engine.apply_phi_updates(&all_updates);
         let mut max_pi = 0.0f64;
+        let mut max_write_recovery = 0.0f64;
         let update_shares = split_contiguous(&all_updates, r);
         for (w, share) in update_shares.iter().enumerate() {
             let rank = w + 1;
@@ -385,14 +568,22 @@ impl DistributedSampler {
                     .state
                     .encode_dkv_row(key, &mut vals[i * (k + 1)..(i + 1) * (k + 1)]);
             }
-            self.store
-                .write_batch(&keys, &vals)
-                .expect("mini-batch vertices are unique");
             let compute = node.scale(t0.elapsed().as_secs_f64());
-            let wire = self.store.write_cost(w, &keys, &net);
-            self.clocks.advance(rank, compute + wire);
+            let wire = self.store.inner().write_cost(w, &keys, &net);
+            // The real write goes through the fault layer: a failed
+            // attempt really applies a partial prefix, and the retry's
+            // idempotent full rewrite converges to the same bytes — only
+            // the modeled recovery time differs from the clean run.
+            let outcome = self
+                .store
+                .write_batch_recovered(w, &keys, &vals, wire)
+                .expect("retry budget covers transient write faults");
+            self.clocks
+                .advance(rank, compute + wire + outcome.recovery_seconds);
             max_pi = max_pi.max(compute + wire);
+            max_write_recovery = max_write_recovery.max(outcome.recovery_seconds);
         }
+        recovery_t += max_write_recovery;
         self.trace.add(Phase::UpdatePi, max_pi);
 
         // Barrier before update_beta (fresh pi everywhere).
@@ -410,7 +601,7 @@ impl DistributedSampler {
                 .iter()
                 .flat_map(|&(e, _)| [e.lo().0, e.hi().0])
                 .collect();
-            let wire = self.store.read_cost(w, &keys, &net);
+            let wire = self.store.inner().read_cost(w, &keys, &net);
             let t0 = Instant::now();
             let grad = self.engine.theta_gradient_slice(share, weight_shares[w]);
             let compute = node.scale(t0.elapsed().as_secs_f64());
@@ -421,8 +612,10 @@ impl DistributedSampler {
             max_grad_time = max_grad_time.max(wire + compute);
         }
         beta_stage += max_grad_time;
-        // MPI reduce of the per-worker gradients to the master.
-        let reduce = collective::reduce(&net, r + 1, 2 * k * 8);
+        // MPI reduce of the per-worker gradients to the master. A dropped
+        // contribution stalls the sync point for its timeout + retransmit.
+        let reduce = collective::reduce(&net, r + 1, 2 * k * 8)
+            + self.collective_retry_cost(STAGE_REDUCE, &mut recovery_t);
         let t_reduce = self.clocks.barrier(reduce); // reduce is a sync point
         beta_stage += reduce;
         let _ = t_reduce;
@@ -430,20 +623,128 @@ impl DistributedSampler {
         let t0 = Instant::now();
         self.engine.apply_theta_update(&grad_total);
         let master_compute = t0.elapsed().as_secs_f64();
-        let bcast = collective::broadcast(&net, r + 1, k * 8);
+        let bcast = collective::broadcast(&net, r + 1, k * 8)
+            + self.collective_retry_cost(STAGE_BROADCAST, &mut recovery_t);
         self.clocks.advance(0, master_compute + bcast);
         self.clocks.barrier(0.0);
         beta_stage += master_compute + bcast;
         self.trace.add(Phase::UpdateBetaTheta, beta_stage);
 
+        if recovery_t > 0.0 {
+            self.trace.add(Phase::Recovery, recovery_t);
+        }
+
         self.engine.bump_iteration();
+        if let Some(every) = self.checkpoint_every {
+            if self.engine.iteration.is_multiple_of(every) {
+                self.last_checkpoint = Some(Checkpoint::capture(&self.engine));
+            }
+        }
     }
 
-    /// Run `iterations` steps.
+    /// Run until `iterations` *more* iterations have completed. (A
+    /// permanent worker loss rewinds the chain to its checkpoint; the
+    /// rewound iterations are re-executed, so the target is still
+    /// reached.)
     pub fn run(&mut self, iterations: u64) {
-        for _ in 0..iterations {
+        let target = self.engine.iteration + iterations;
+        while self.engine.iteration < target {
             self.step();
         }
+    }
+
+    /// Absorb the permanent loss of worker `dead`: rewind the chain to
+    /// the last checkpoint, re-partition the store over the `R - 1`
+    /// survivors, and charge the modeled detection + re-load cost as
+    /// recovery time. Worker count never changes the numerics, so the
+    /// degraded run still reproduces the fault-free chain bit-for-bit.
+    fn degrade(&mut self, dead: usize) {
+        let ckpt = self
+            .last_checkpoint
+            .clone()
+            .expect("fault-configured samplers always hold a rollback checkpoint");
+        ckpt.install(&mut self.engine)
+            .expect("self-captured checkpoint always matches its sampler");
+        self.lost_worker = Some(dead);
+        self.dcfg.workers -= 1;
+        let n = self.engine.graph.num_vertices();
+        let k = self.engine.config.k;
+        let store = ShardedStore::new(Partition::new(n, self.dcfg.workers), k + 1);
+        self.store = FaultingStore::new(store, self.plan, self.policy);
+        self.reload_store()
+            .expect("fresh partition accepts every vertex");
+        // Model the recovery: the survivors wait out the stage timeout
+        // that detects the loss, then the master re-scatters the full
+        // checkpointed state over the new partition.
+        let bytes = n as usize * (k + 1) * 4;
+        let cost = self.policy.stage_timeout
+            + collective::scatter(&self.dcfg.net, self.dcfg.workers + 1, bytes);
+        let resume_at = self.clocks.max() + cost;
+        self.clocks = ClusterClocks::new(self.dcfg.workers + 1);
+        self.clocks.barrier(resume_at);
+        self.trace.add(Phase::Recovery, cost);
+    }
+
+    /// Modeled seconds `rank`'s chunked read stage spends on transient
+    /// DKV faults this iteration: each failed attempt re-issues one
+    /// chunk's load after a backoff; a slow replica stretches its chunk
+    /// by the plan's factor.
+    fn read_retry_cost(&self, rank: usize, chunks: usize, per_chunk: f64) -> f64 {
+        let iteration = self.engine.iteration;
+        let mut extra = 0.0;
+        for chunk in 0..chunks {
+            let site = ((rank as u64) << 32) ^ (chunk as u64) ^ (iteration << 16);
+            for attempt in 0..=self.policy.max_retries {
+                match self.plan.read_fault(rank, iteration, chunk, attempt) {
+                    Some(DkvFault::Fail) => {
+                        extra += per_chunk + self.policy.backoff(&self.plan, site, attempt);
+                    }
+                    Some(DkvFault::Slow(factor)) => {
+                        extra += per_chunk * (factor - 1.0);
+                        break;
+                    }
+                    None => break,
+                }
+            }
+        }
+        extra
+    }
+
+    /// Modeled extra seconds of the slowest link in a master-rooted
+    /// collective under the plan's fabric faults. A dropped frame costs
+    /// its link the stage timeout plus a backoff before the retransmit
+    /// (which draws a fresh fate); a delayed frame costs its extra
+    /// in-flight time; a duplicated frame is dropped free of charge by
+    /// the receiver's de-duplication. Accumulates into `recovery_t`.
+    fn collective_retry_cost(&self, stage: u64, recovery_t: &mut f64) -> f64 {
+        if self.dcfg.faults.is_none() {
+            return 0.0;
+        }
+        let iteration = self.engine.iteration;
+        let mut worst = 0.0f64;
+        for w in 0..self.dcfg.workers {
+            // One logical message per link per stage; retries fold into
+            // the coordinate exactly like the wire protocol in mmsb-comm.
+            let coord = (iteration * STAGE_COUNT + stage) * 64;
+            let site = coord ^ ((w as u64) << 48);
+            let mut extra = 0.0;
+            for attempt in 0..=self.policy.max_retries {
+                match self.plan.message_fault(w + 1, 0, coord + attempt as u64) {
+                    Some(MsgFault::Drop) => {
+                        extra += self.policy.stage_timeout
+                            + self.policy.backoff(&self.plan, site, attempt);
+                    }
+                    Some(MsgFault::Delay(secs)) => {
+                        extra += secs;
+                        break;
+                    }
+                    Some(MsgFault::Duplicate) | None => break,
+                }
+            }
+            worst = worst.max(extra);
+        }
+        *recovery_t += worst;
+        worst
     }
 
     /// Distributed held-out perplexity: each worker loads the `pi` rows of
@@ -468,7 +769,7 @@ impl DistributedSampler {
                 .iter()
                 .flat_map(|&(e, _)| [e.lo().0, e.hi().0])
                 .collect();
-            let wire = self.store.read_cost(w, &keys, &net);
+            let wire = self.store.inner().read_cost(w, &keys, &net);
             let t0 = Instant::now();
             let probs = self.engine.perplexity_probs(offset, offset + share.len());
             let compute = node.scale(t0.elapsed().as_secs_f64());

@@ -232,6 +232,56 @@ impl ModelState {
     pub fn memory_bytes(&self) -> usize {
         self.pi.len() * 4 + self.phi_sum.len() * 4 + self.phi.len() * 8
     }
+
+    /// Flat views of the state arrays, in checkpoint order:
+    /// `(pi, phi_sum, phi)`. `phi` is empty for [`StateLayout::PiSumPhi`].
+    pub(crate) fn flat_arrays(&self) -> (&[f32], &[f32], &[f64]) {
+        (&self.pi, &self.phi_sum, &self.phi)
+    }
+
+    /// Rebuild a state from checkpointed arrays. Dimensions are validated;
+    /// values are trusted (the checkpoint layer checksums them).
+    #[allow(clippy::too_many_arguments)] // mirrors the checkpoint record
+    pub(crate) fn from_flat_arrays(
+        n: u32,
+        k: usize,
+        layout: StateLayout,
+        pi: Vec<f32>,
+        phi_sum: Vec<f32>,
+        phi: Vec<f64>,
+        theta: Vec<f64>,
+        beta: Vec<f64>,
+    ) -> Result<Self, CoreError> {
+        let nk = n as usize * k;
+        let phi_expected = match layout {
+            StateLayout::FullPhi => nk,
+            StateLayout::PiSumPhi => 0,
+        };
+        if n == 0
+            || k == 0
+            || pi.len() != nk
+            || phi_sum.len() != n as usize
+            || phi.len() != phi_expected
+            || theta.len() != 2 * k
+            || beta.len() != k
+        {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "checkpoint arrays do not match n={n} k={k} layout={layout:?}"
+                ),
+            });
+        }
+        Ok(Self {
+            n,
+            k,
+            layout,
+            pi,
+            phi_sum,
+            phi,
+            theta,
+            beta,
+        })
+    }
 }
 
 #[cfg(test)]

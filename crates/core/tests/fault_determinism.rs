@@ -1,0 +1,194 @@
+//! Determinism under injected faults.
+//!
+//! The contract of the failure layer: recoverable faults (failed/slow DKV
+//! operations, lost/duplicated/delayed messages, stragglers) change the
+//! *modeled time* of the run — surfaced as `Phase::Recovery` in the trace
+//! — but never the chain. A faulty run's final `theta`/`pi` must be
+//! bitwise-identical to the fault-free run under the same sampler seed,
+//! and a permanent worker kill must degrade to `R - 1` workers while
+//! still reproducing the same chain.
+
+use mmsb_core::{DistributedConfig, DistributedSampler, SamplerConfig};
+use mmsb_graph::generate::planted::{generate_planted, PlantedConfig};
+use mmsb_graph::heldout::HeldOut;
+use mmsb_graph::Graph;
+use mmsb_netsim::{FaultConfig, Phase};
+use mmsb_rand::Xoshiro256PlusPlus;
+
+fn setup(seed: u64) -> (Graph, HeldOut) {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let gen = generate_planted(
+        &PlantedConfig {
+            num_vertices: 110,
+            num_communities: 3,
+            mean_community_size: 40.0,
+            memberships_per_vertex: 1.1,
+            internal_degree: 8.0,
+            background_degree: 0.5,
+        },
+        &mut rng,
+    );
+    HeldOut::split(&gen.graph, 36, &mut rng)
+}
+
+fn assert_same_chain(a: &DistributedSampler, b: &DistributedSampler) {
+    for v in 0..a.state().n() {
+        assert_eq!(a.state().pi_row(v), b.state().pi_row(v), "pi diverged at {v}");
+    }
+    assert_eq!(a.state().theta(), b.state().theta(), "theta diverged");
+}
+
+/// Like [`assert_same_chain`] but for runs with *different worker
+/// counts*: `pi` stays bitwise (phi updates are per-vertex pure and round
+/// to f32), while the `theta`-gradient reduction sums worker shares in
+/// rank order, so a different `R` changes the floating-point association
+/// — theta matches to reduction precision, not bitwise.
+fn assert_same_chain_across_widths(a: &DistributedSampler, b: &DistributedSampler) {
+    for v in 0..a.state().n() {
+        assert_eq!(a.state().pi_row(v), b.state().pi_row(v), "pi diverged at {v}");
+    }
+    for (x, y) in a.state().theta().iter().zip(b.state().theta()) {
+        let rel = (x - y).abs() / x.abs().max(1e-12);
+        assert!(rel < 1e-9, "theta diverged: {x} vs {y}");
+    }
+}
+
+#[test]
+fn transient_faults_cost_time_but_not_values() {
+    let (g, h) = setup(21);
+    let cfg = SamplerConfig::new(3).with_seed(13);
+
+    let mut clean =
+        DistributedSampler::new(g.clone(), h.clone(), cfg.clone(), DistributedConfig::das5(4))
+            .unwrap();
+    let mut faulty = DistributedSampler::new(
+        g,
+        h,
+        cfg,
+        DistributedConfig::das5(4).with_faults(FaultConfig::transient(777)),
+    )
+    .unwrap();
+
+    clean.run(8);
+    faulty.run(8);
+
+    assert_same_chain(&clean, &faulty);
+    let pc = clean.evaluate_perplexity();
+    let pf = faulty.evaluate_perplexity();
+    assert_eq!(pc.to_bits(), pf.to_bits(), "perplexity diverged: {pc} vs {pf}");
+
+    // The faults must have cost something, and the trace must say where.
+    let recovery = faulty.report().phases.total(Phase::Recovery);
+    assert!(recovery > 0.0, "transient plan produced zero recovery time");
+    assert!(faulty.report().phases.count(Phase::Recovery) > 0);
+    assert_eq!(clean.report().phases.total(Phase::Recovery), 0.0);
+    assert!(
+        faulty.virtual_time() > clean.virtual_time(),
+        "faulty {} should be slower than clean {}",
+        faulty.virtual_time(),
+        clean.virtual_time()
+    );
+}
+
+#[test]
+fn fault_schedule_is_reproducible() {
+    let (g, h) = setup(22);
+    let cfg = SamplerConfig::new(3).with_seed(3);
+    let dcfg = DistributedConfig::das5(3).with_faults(FaultConfig::transient(42));
+
+    let mut a = DistributedSampler::new(g.clone(), h.clone(), cfg.clone(), dcfg).unwrap();
+    let mut b = DistributedSampler::new(g, h, cfg, dcfg).unwrap();
+    a.run(6);
+    b.run(6);
+    assert_same_chain(&a, &b);
+    // The fault *decisions* are a pure function of the plan seed, so the
+    // iterations that needed recovery are the same run-to-run. (The
+    // recovery *magnitudes* fold in measured compute — straggler overhead
+    // scales the real stage time — so they are not bitwise comparable,
+    // just like the rest of the virtual clock.)
+    assert_eq!(
+        a.report().phases.count(Phase::Recovery),
+        b.report().phases.count(Phase::Recovery)
+    );
+    assert!(a.report().phases.total(Phase::Recovery) > 0.0);
+    assert!(b.report().phases.total(Phase::Recovery) > 0.0);
+}
+
+#[test]
+fn killed_worker_degrades_to_survivors_with_the_same_chain() {
+    let (g, h) = setup(23);
+    let cfg = SamplerConfig::new(3).with_seed(17);
+
+    let mut clean =
+        DistributedSampler::new(g.clone(), h.clone(), cfg.clone(), DistributedConfig::das5(4))
+            .unwrap();
+    // Worker 2 dies permanently at the start of iteration 5; the run
+    // rewinds to the iteration-4 checkpoint and continues on 3 workers.
+    let faults = FaultConfig::none(5).with_kill(5, 2);
+    let mut killed = DistributedSampler::new(
+        g,
+        h,
+        cfg,
+        DistributedConfig::das5(4).with_faults(faults),
+    )
+    .unwrap()
+    .with_checkpoint_every(2);
+
+    clean.run(10);
+    killed.run(10);
+
+    assert_eq!(killed.workers(), 3, "did not degrade to R - 1 workers");
+    assert_eq!(killed.lost_worker(), Some(2));
+    assert_eq!(killed.iteration(), 10, "rewound iterations must be re-run");
+    assert_same_chain_across_widths(&clean, &killed);
+
+    let p = killed.evaluate_perplexity();
+    assert!(p.is_finite() && p > 1.0, "degraded run broke perplexity: {p}");
+    assert!(killed.report().phases.total(Phase::Recovery) > 0.0);
+    assert_eq!(clean.workers(), 4);
+}
+
+#[test]
+fn kill_without_checkpoint_cadence_rewinds_to_construction() {
+    let (g, h) = setup(24);
+    let cfg = SamplerConfig::new(3).with_seed(29);
+    let mut clean =
+        DistributedSampler::new(g.clone(), h.clone(), cfg.clone(), DistributedConfig::das5(3))
+            .unwrap();
+    // No with_checkpoint_every: the rollback point is the construction
+    // snapshot, so the whole prefix is re-run after the kill.
+    let mut killed = DistributedSampler::new(
+        g,
+        h,
+        cfg,
+        DistributedConfig::das5(3).with_faults(FaultConfig::none(1).with_kill(3, 0)),
+    )
+    .unwrap();
+    clean.run(6);
+    killed.run(6);
+    assert_eq!(killed.workers(), 2);
+    assert_eq!(killed.iteration(), 6);
+    assert_same_chain_across_widths(&clean, &killed);
+}
+
+#[test]
+fn invalid_kill_targets_are_rejected() {
+    let (g, h) = setup(25);
+    let cfg = SamplerConfig::new(3);
+    // Kill rank out of range.
+    assert!(DistributedSampler::new(
+        g.clone(),
+        h.clone(),
+        cfg.clone(),
+        DistributedConfig::das5(2).with_faults(FaultConfig::none(1).with_kill(0, 5)),
+    )
+    .is_err());
+    // Killing the only worker leaves nothing to degrade to.
+    assert!(DistributedSampler::new(
+        g,
+        h,
+        cfg,
+        DistributedConfig::das5(1).with_faults(FaultConfig::none(1).with_kill(0, 0)),
+    )
+    .is_err());
+}

@@ -151,4 +151,25 @@ fn steady_state_step_is_allocation_free() {
         n, 0,
         "warmed prefetching reader hit the allocator {n} times over 20 passes"
     );
+
+    // ---- write path: warmed write_batch calls ----
+    // The duplicate-key check sorts a copy of the batch in a store-owned
+    // scratch vector; once that scratch has grown to the largest batch
+    // seen, repeated writes (the per-iteration `pi` publish) must not
+    // allocate either. The first call above already warmed it with the
+    // full 512-key batch, so both full and partial rewrites stay clean.
+    let half: Vec<u32> = (0..256).collect();
+    let half_vals = vec![2.0f32; half.len() * row_len];
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..20 {
+        store.write_batch(&keys, &vals).unwrap();
+        store.write_batch(&half, &half_vals).unwrap();
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        n, 0,
+        "warmed write_batch hit the allocator {n} times over 40 writes"
+    );
 }

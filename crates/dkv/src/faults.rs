@@ -1,0 +1,304 @@
+//! Fault-injected store access with bounded-retry recovery.
+//!
+//! [`FaultingStore`] wraps a [`ShardedStore`] and consults a
+//! [`FaultPlan`] before every batched operation. Injected failures are
+//! *executed*, not just priced: a failed read attempt garbles the output
+//! buffer before the retry re-reads it, and a failed write applies a
+//! partial prefix before the retry rewrites the full batch (writes are
+//! idempotent row overwrites, so the retried batch restores exactly the
+//! intended state). The recovery cost — wasted attempts plus exponential
+//! backoff from the [`RecoveryPolicy`] — is returned to the caller as
+//! modeled seconds, which the distributed sampler charges to the owning
+//! rank's virtual clock under `Phase::Recovery`.
+//!
+//! Because the plan's decisions are pure functions of the site
+//! coordinates and recovered operations always converge to the same
+//! delivered bytes, a faulty run's *data* path is bitwise-identical to
+//! the fault-free run; only its clocks differ.
+//!
+//! This module performs no thread synchronization of its own. If it ever
+//! needs any, it must route it through `mmsb_pool::sync` (the `xlint`
+//! std-sync-confinement rule enforces this for all of `crates/dkv/src`),
+//! so `mmsb-check` can model it.
+
+use crate::{DkvError, DkvStore, ShardedStore};
+use mmsb_netsim::{DkvFault, FaultPlan, RecoveryPolicy};
+
+/// What one recovered operation cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpOutcome {
+    /// Total attempts performed (1 = no fault).
+    pub attempts: u32,
+    /// Modeled extra seconds spent on recovery: wasted attempts, backoff
+    /// and slow-path surcharges. Zero when the first attempt succeeds at
+    /// full speed.
+    pub recovery_seconds: f64,
+}
+
+impl OpOutcome {
+    /// A fault-free outcome.
+    pub fn clean() -> Self {
+        Self {
+            attempts: 1,
+            recovery_seconds: 0.0,
+        }
+    }
+}
+
+/// A [`ShardedStore`] whose batched operations suffer the faults of a
+/// [`FaultPlan`] and recover per a [`RecoveryPolicy`].
+#[derive(Debug, Clone)]
+pub struct FaultingStore {
+    inner: ShardedStore,
+    plan: FaultPlan,
+    policy: RecoveryPolicy,
+    iteration: u64,
+}
+
+impl FaultingStore {
+    /// Wrap `inner` with the given fault schedule and recovery policy.
+    pub fn new(inner: ShardedStore, plan: FaultPlan, policy: RecoveryPolicy) -> Self {
+        Self {
+            inner,
+            plan,
+            policy,
+            iteration: 0,
+        }
+    }
+
+    /// Set the iteration coordinate used for fault decisions. The
+    /// distributed sampler calls this once per iteration so a resumed run
+    /// sees the same fault schedule as an uninterrupted one.
+    pub fn set_iteration(&mut self, iteration: u64) {
+        self.iteration = iteration;
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &ShardedStore {
+        &self.inner
+    }
+
+    /// The wrapped store, mutably (checkpoint restore repopulates rows
+    /// through this).
+    pub fn inner_mut(&mut self) -> &mut ShardedStore {
+        &mut self.inner
+    }
+
+    /// The fault plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The recovery policy in force.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Permanently lose `rank`'s shard (the node died). The rows are
+    /// really zeroed; only a checkpoint can bring them back.
+    pub fn lose_shard(&mut self, rank: usize) {
+        self.inner.wipe_shard(rank);
+    }
+
+    /// Read `keys` into `out` as chunk `chunk` of `rank`'s load stage,
+    /// retrying per the policy. `healthy_cost` is the modeled seconds one
+    /// clean attempt takes; wasted attempts and the slow path are charged
+    /// as multiples of it.
+    pub fn read_batch_recovered(
+        &mut self,
+        rank: usize,
+        chunk: usize,
+        keys: &[u32],
+        out: &mut [f32],
+        healthy_cost: f64,
+    ) -> Result<OpOutcome, DkvError> {
+        let site = site_hash(rank as u64, chunk as u64, self.iteration);
+        let mut recovery = 0.0;
+        for attempt in 0..=self.policy.max_retries {
+            match self.plan.read_fault(rank, self.iteration, chunk, attempt) {
+                Some(DkvFault::Fail) => {
+                    // The attempt really ran and delivered garbage; the
+                    // retry below overwrites every element, so the chain
+                    // never observes these bytes.
+                    out.fill(f32::NAN);
+                    recovery += healthy_cost + self.policy.backoff(&self.plan, site, attempt);
+                }
+                Some(DkvFault::Slow(factor)) => {
+                    self.inner.read_batch(keys, out)?;
+                    recovery += healthy_cost * (factor - 1.0);
+                    return Ok(OpOutcome {
+                        attempts: attempt + 1,
+                        recovery_seconds: recovery,
+                    });
+                }
+                None => {
+                    self.inner.read_batch(keys, out)?;
+                    return Ok(OpOutcome {
+                        attempts: attempt + 1,
+                        recovery_seconds: recovery,
+                    });
+                }
+            }
+        }
+        Err(DkvError::RetriesExhausted {
+            attempts: self.policy.max_retries + 1,
+        })
+    }
+
+    /// Write `keys`/`vals` as `rank`'s write-back stage, retrying per the
+    /// policy. A failed attempt applies a *partial prefix* of the batch
+    /// (the node crashed mid-write); the retry rewrites the full batch,
+    /// which is idempotent because writes are whole-row overwrites.
+    pub fn write_batch_recovered(
+        &mut self,
+        rank: usize,
+        keys: &[u32],
+        vals: &[f32],
+        healthy_cost: f64,
+    ) -> Result<OpOutcome, DkvError> {
+        let site = site_hash(rank as u64, u64::MAX, self.iteration);
+        let row_len = self.inner.row_len();
+        let mut recovery = 0.0;
+        for attempt in 0..=self.policy.max_retries {
+            match self.plan.write_fault(rank, self.iteration, attempt) {
+                Some(DkvFault::Fail) => {
+                    // Really apply the half-finished write before failing.
+                    let cut = keys.len() / 2;
+                    self.inner
+                        .write_batch(&keys[..cut], &vals[..cut * row_len])?;
+                    recovery += healthy_cost + self.policy.backoff(&self.plan, site, attempt);
+                }
+                Some(DkvFault::Slow(factor)) => {
+                    self.inner.write_batch(keys, vals)?;
+                    recovery += healthy_cost * (factor - 1.0);
+                    return Ok(OpOutcome {
+                        attempts: attempt + 1,
+                        recovery_seconds: recovery,
+                    });
+                }
+                None => {
+                    self.inner.write_batch(keys, vals)?;
+                    return Ok(OpOutcome {
+                        attempts: attempt + 1,
+                        recovery_seconds: recovery,
+                    });
+                }
+            }
+        }
+        Err(DkvError::RetriesExhausted {
+            attempts: self.policy.max_retries + 1,
+        })
+    }
+}
+
+/// Mix three coordinates into one jitter-site hash.
+fn site_hash(a: u64, b: u64, c: u64) -> u64 {
+    a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.rotate_left(21)
+        ^ c.rotate_left(42)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Partition;
+    use mmsb_netsim::FaultConfig;
+
+    fn store(n: u32, ranks: usize, row_len: usize) -> ShardedStore {
+        let mut s = ShardedStore::new(Partition::new(n, ranks), row_len);
+        let keys: Vec<u32> = (0..n).collect();
+        let vals: Vec<f32> = keys
+            .iter()
+            .flat_map(|&k| (0..row_len).map(move |j| (k * 10 + j as u32) as f32))
+            .collect();
+        s.write_batch(&keys, &vals).unwrap();
+        s
+    }
+
+    #[test]
+    fn clean_plan_charges_nothing_and_delivers_rows() {
+        let plan = FaultPlan::new(FaultConfig::none(1));
+        let mut fs = FaultingStore::new(store(16, 2, 3), plan, RecoveryPolicy::default());
+        let keys: Vec<u32> = (0..16).collect();
+        let mut out = vec![0.0; 16 * 3];
+        let oc = fs
+            .read_batch_recovered(0, 0, &keys, &mut out, 1e-3)
+            .unwrap();
+        assert_eq!(oc, OpOutcome::clean());
+        assert_eq!(out[3], 10.0);
+    }
+
+    #[test]
+    fn faulty_reads_recover_to_identical_bytes() {
+        let plan = FaultPlan::new(FaultConfig::transient(42));
+        let clean = store(64, 4, 3);
+        let mut fs = FaultingStore::new(clean.clone(), plan, RecoveryPolicy::default());
+        let keys: Vec<u32> = (0..64).collect();
+        let mut want = vec![0.0; 64 * 3];
+        clean.read_batch(&keys, &mut want).unwrap();
+        let mut total_recovery = 0.0;
+        let mut saw_fault = false;
+        for it in 0..50u64 {
+            fs.set_iteration(it);
+            for chunk in 0..4usize {
+                let mut got = vec![0.0; 64 * 3];
+                let oc = fs
+                    .read_batch_recovered(1, chunk, &keys, &mut got, 1e-3)
+                    .unwrap();
+                assert_eq!(got, want, "it={it} chunk={chunk}");
+                saw_fault |= oc.attempts > 1 || oc.recovery_seconds > 0.0;
+                total_recovery += oc.recovery_seconds;
+            }
+        }
+        assert!(saw_fault, "transient plan injected nothing in 200 reads");
+        assert!(total_recovery > 0.0);
+    }
+
+    #[test]
+    fn faulty_writes_converge_despite_partial_prefixes() {
+        let plan = FaultPlan::new(FaultConfig::transient(7));
+        let mut fs = FaultingStore::new(store(32, 2, 2), plan, RecoveryPolicy::default());
+        let keys: Vec<u32> = (0..32).collect();
+        let vals: Vec<f32> = (0..64).map(|i| i as f32 * 0.5).collect();
+        let mut saw_retry = false;
+        for it in 0..80u64 {
+            fs.set_iteration(it);
+            let oc = fs.write_batch_recovered(0, &keys, &vals, 1e-3).unwrap();
+            saw_retry |= oc.attempts > 1;
+            let mut got = vec![0.0; 64];
+            fs.inner().read_batch(&keys, &mut got).unwrap();
+            assert_eq!(got, vals, "it={it}");
+        }
+        assert!(saw_retry, "transient plan never failed a write in 80 tries");
+    }
+
+    #[test]
+    fn certain_failure_exhausts_retries() {
+        let mut cfg = FaultConfig::none(3);
+        cfg.read_fail = 1.0;
+        let mut fs = FaultingStore::new(
+            store(8, 2, 1),
+            FaultPlan::new(cfg),
+            RecoveryPolicy::default(),
+        );
+        let mut out = vec![0.0; 8];
+        let err = fs
+            .read_batch_recovered(0, 0, &(0..8).collect::<Vec<u32>>(), &mut out, 1e-3)
+            .unwrap_err();
+        assert_eq!(err, DkvError::RetriesExhausted { attempts: 5 });
+    }
+
+    #[test]
+    fn lose_shard_really_zeroes_rows() {
+        let plan = FaultPlan::new(FaultConfig::none(1));
+        let mut fs = FaultingStore::new(store(12, 3, 2), plan, RecoveryPolicy::default());
+        fs.lose_shard(2);
+        let victim_keys: Vec<u32> = (0..12)
+            .filter(|&k| fs.inner().partition().owner(k) == 2)
+            .collect();
+        assert!(!victim_keys.is_empty());
+        for k in victim_keys {
+            assert_eq!(fs.inner().read_row(k).unwrap(), vec![0.0, 0.0]);
+        }
+    }
+}

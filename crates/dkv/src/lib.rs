@@ -28,9 +28,11 @@
 
 pub mod pipeline;
 
+mod faults;
 mod partition;
 mod store;
 
+pub use faults::{FaultingStore, OpOutcome};
 pub use partition::Partition;
 pub use store::{DkvStore, LocalStore, ShardedStore};
 
@@ -58,6 +60,12 @@ pub enum DkvError {
         /// The duplicated key.
         key: u32,
     },
+    /// A fault-injected operation failed on every attempt the recovery
+    /// policy allowed.
+    RetriesExhausted {
+        /// Attempts performed before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for DkvError {
@@ -71,6 +79,9 @@ impl std::fmt::Display for DkvError {
             }
             DkvError::DuplicateKeyInWrite { key } => {
                 write!(f, "key {key} appears twice in one write batch")
+            }
+            DkvError::RetriesExhausted { attempts } => {
+                write!(f, "operation failed on all {attempts} attempts")
             }
         }
     }

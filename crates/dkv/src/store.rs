@@ -53,10 +53,15 @@ fn validate_batch(
     Ok(())
 }
 
-fn check_no_duplicates(keys: &[u32]) -> Result<(), DkvError> {
-    let mut sorted: Vec<u32> = keys.to_vec();
-    sorted.sort_unstable();
-    for w in sorted.windows(2) {
+/// Duplicate detection via a caller-provided scratch buffer: the keys are
+/// copied into `scratch` and sorted there, so steady-state write batches
+/// perform no allocation once the scratch has grown to the largest batch
+/// seen (pinned by `crates/core/tests/zero_alloc.rs`).
+fn check_no_duplicates(keys: &[u32], scratch: &mut Vec<u32>) -> Result<(), DkvError> {
+    scratch.clear();
+    scratch.extend_from_slice(keys);
+    scratch.sort_unstable();
+    for w in scratch.windows(2) {
         if w[0] == w[1] {
             return Err(DkvError::DuplicateKeyInWrite { key: w[0] });
         }
@@ -71,6 +76,7 @@ pub struct LocalStore {
     rows: Vec<f32>,
     num_keys: u32,
     row_len: usize,
+    dup_scratch: Vec<u32>,
 }
 
 impl LocalStore {
@@ -81,6 +87,7 @@ impl LocalStore {
             rows: vec![0.0; num_keys as usize * row_len],
             num_keys,
             row_len,
+            dup_scratch: Vec::new(),
         }
     }
 
@@ -118,7 +125,7 @@ impl DkvStore for LocalStore {
 
     fn write_batch(&mut self, keys: &[u32], vals: &[f32]) -> Result<(), DkvError> {
         validate_batch(self.num_keys, self.row_len, keys, vals.len())?;
-        check_no_duplicates(keys)?;
+        check_no_duplicates(keys, &mut self.dup_scratch)?;
         for (i, &k) in keys.iter().enumerate() {
             let dst = k as usize * self.row_len;
             self.rows[dst..dst + self.row_len]
@@ -150,6 +157,7 @@ pub struct ShardedStore {
     /// (not spinning) is deliberate: it occupies no CPU, exactly like a
     /// NIC DMA, so a prefetch thread genuinely overlaps with compute.
     read_latency_per_key: f64,
+    dup_scratch: Vec<u32>,
 }
 
 impl ShardedStore {
@@ -169,6 +177,7 @@ impl ShardedStore {
             row_len,
             local_bandwidth: Self::DEFAULT_LOCAL_BANDWIDTH,
             read_latency_per_key: 0.0,
+            dup_scratch: Vec::new(),
         }
     }
 
@@ -193,6 +202,14 @@ impl ShardedStore {
     /// The store's partition.
     pub fn partition(&self) -> Partition {
         self.partition
+    }
+
+    /// Simulate the permanent loss of `rank`'s shard: its rows are
+    /// zeroed, exactly as if the hosting node's memory vanished. The
+    /// recovery path re-populates the shard from the last checkpoint.
+    pub fn wipe_shard(&mut self, rank: usize) {
+        assert!(rank < self.shards.len(), "rank {rank} has no shard");
+        self.shards[rank].fill(0.0);
     }
 
     /// Bytes per row on the wire.
@@ -268,7 +285,7 @@ impl DkvStore for ShardedStore {
 
     fn write_batch(&mut self, keys: &[u32], vals: &[f32]) -> Result<(), DkvError> {
         validate_batch(self.num_keys(), self.row_len, keys, vals.len())?;
-        check_no_duplicates(keys)?;
+        check_no_duplicates(keys, &mut self.dup_scratch)?;
         for (i, &k) in keys.iter().enumerate() {
             let owner = self.partition.owner(k);
             let dst = self.partition.local_index(k) * self.row_len;
@@ -367,6 +384,23 @@ mod tests {
         assert_eq!(a, b, "latency changed delivered bytes");
         // 20 keys * 100us = 2ms floor (sleep may overshoot, never under).
         assert!(elapsed >= 1.9e-3, "read returned too fast: {elapsed}s");
+    }
+
+    #[test]
+    fn wipe_shard_zeroes_only_that_shard() {
+        let mut s = ShardedStore::new(Partition::new(20, 4), 2);
+        let keys: Vec<u32> = (0..20).collect();
+        write_rows(&mut s, &keys);
+        let victim = 1usize;
+        s.wipe_shard(victim);
+        for k in 0..20u32 {
+            let row = s.read_row(k).unwrap();
+            if s.partition().owner(k) == victim {
+                assert_eq!(row, vec![0.0, 0.0], "key {k} not wiped");
+            } else {
+                assert_eq!(row[0], (k * 100) as f32, "key {k} damaged");
+            }
+        }
     }
 
     #[test]

@@ -282,7 +282,8 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     if args.get("help").is_some() {
         println!(
             "mmsb simulate [--workers R] [--k K] [--iters N] [--pipeline on|off] \
-             [generator flags]"
+             [--faults SEED] [--kill ITER:RANK] [--checkpoint-every N] \
+             [--checkpoint FILE] [--resume FILE] [generator flags]"
         );
         return Ok(());
     }
@@ -295,14 +296,53 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         "off" | "false" => PipelineMode::Single,
         other => return Err(format!("--pipeline expects on/off, got {other:?}")),
     };
+
+    // Failure-layer flags: --faults arms the transient plan, --kill adds a
+    // permanent worker loss, --checkpoint-every sets the rollback cadence,
+    // --checkpoint/--resume save and restore the full sampler state.
+    let mut faults: Option<FaultConfig> = match args.get("faults") {
+        None => None,
+        Some(v) => {
+            let fseed: u64 = v.parse().map_err(|_| "--faults expects a seed (u64)")?;
+            Some(FaultConfig::transient(fseed))
+        }
+    };
+    if let Some(spec) = args.get("kill") {
+        let (it, rank) = spec
+            .split_once(':')
+            .and_then(|(a, b)| Some((a.parse::<u64>().ok()?, b.parse::<usize>().ok()?)))
+            .ok_or("--kill expects ITER:RANK")?;
+        faults = Some(
+            faults
+                .unwrap_or_else(|| FaultConfig::none(seed))
+                .with_kill(it, rank),
+        );
+    }
+    let checkpoint_every: u64 = args.parsed("checkpoint-every", 0)?;
+
     let generated = generated_from_args(args)?;
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed ^ 0x5EED);
     let links = (generated.graph.num_edges() / 50).max(16) as usize;
     let (train, heldout) = HeldOut::split(&generated.graph, links, &mut rng);
     let config = SamplerConfig::new(k).with_seed(seed);
-    let dcfg = DistributedConfig::das5(workers).with_pipeline(pipeline);
-    let mut sampler =
-        DistributedSampler::new(train, heldout, config, dcfg).map_err(|e| e.to_string())?;
+    let mut dcfg = DistributedConfig::das5(workers).with_pipeline(pipeline);
+    if let Some(fc) = faults {
+        dcfg = dcfg.with_faults(fc);
+    }
+    let mut sampler = match args.get("resume") {
+        Some(path) => {
+            let ckpt =
+                Checkpoint::load(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+            println!("resuming from {path} at iteration {}", ckpt.iteration());
+            DistributedSampler::resume(train, heldout, config, dcfg, &ckpt)
+                .map_err(|e| e.to_string())?
+        }
+        None => DistributedSampler::new(train, heldout, config, dcfg)
+            .map_err(|e| e.to_string())?,
+    };
+    if checkpoint_every > 0 {
+        sampler = sampler.with_checkpoint_every(checkpoint_every);
+    }
     sampler.run(iters);
     let perplexity = sampler.evaluate_perplexity();
     println!(
@@ -312,5 +352,21 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     print!("{}", sampler.report());
     println!("\nvirtual time: {:.4} s", sampler.virtual_time());
     println!("held-out perplexity: {perplexity:.4}");
+    if let Some(dead) = sampler.lost_worker() {
+        println!(
+            "worker {dead} was lost; finished degraded on {} workers",
+            sampler.workers()
+        );
+    }
+    if let Some(path) = args.get("checkpoint") {
+        sampler
+            .checkpoint()
+            .save(std::path::Path::new(path))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "checkpoint (iteration {}) written to {path}",
+            sampler.iteration()
+        );
+    }
     Ok(())
 }

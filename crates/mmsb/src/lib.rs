@@ -33,8 +33,8 @@ pub use mmsb_svi as svi;
 pub mod prelude {
     pub use mmsb_core::{
         communities::Communities, convergence::PlateauDetector, eval, link_probability,
-        train_threaded, DistributedConfig, DistributedSampler, ModelState, NodeComputeModel,
-        ParallelSampler,
+        train_threaded, Checkpoint, CheckpointError, DistributedConfig, DistributedSampler,
+        ModelState, NodeComputeModel, ParallelSampler,
         PerplexityAccumulator, SamplerConfig, SequentialSampler, StateLayout, StepSize,
     };
     pub use mmsb_dkv::pipeline::PipelineMode;
@@ -44,7 +44,7 @@ pub mod prelude {
     pub use mmsb_graph::heldout::HeldOut;
     pub use mmsb_graph::minibatch::Strategy;
     pub use mmsb_graph::{Graph, GraphBuilder, VertexId};
-    pub use mmsb_netsim::{NetworkModel, Phase, TraceReport};
+    pub use mmsb_netsim::{FaultConfig, FaultPlan, NetworkModel, Phase, RecoveryPolicy, TraceReport};
     pub use mmsb_rand::{Rng, RngCore, Xoshiro256PlusPlus};
     pub use mmsb_svi::SviSampler;
 }

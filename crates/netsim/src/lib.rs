@@ -26,10 +26,12 @@
 pub mod collective;
 
 mod clock;
+mod fault;
 mod model;
 mod trace;
 
 pub use clock::{ClusterClocks, VirtualClock};
+pub use fault::{DkvFault, FaultConfig, FaultPlan, MsgFault, RecoveryPolicy};
 pub use model::NetworkModel;
 pub use trace::{Phase, PhaseTimes, TraceReport};
 

@@ -30,11 +30,15 @@ pub enum Phase {
     /// overlap (`PrefetchingReader`) — the *measured* counterpart of the
     /// modeled `LoadPi` + `UpdatePhi` pair.
     Prefetch,
+    /// Fault-recovery overhead: retry backoff, re-issued loads/stores,
+    /// straggler re-execution, and re-partitioning after a worker loss.
+    /// Zero on a healthy run.
+    Recovery,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 11] = [
         Phase::DrawMinibatch,
         Phase::DeployMinibatch,
         Phase::SampleNeighbors,
@@ -45,6 +49,7 @@ impl Phase {
         Phase::Perplexity,
         Phase::Barrier,
         Phase::Prefetch,
+        Phase::Recovery,
     ];
 
     /// Human-readable stage name matching the paper's terminology.
@@ -60,6 +65,7 @@ impl Phase {
             Phase::Perplexity => "perplexity",
             Phase::Barrier => "barrier",
             Phase::Prefetch => "prefetch (measured)",
+            Phase::Recovery => "recovery",
         }
     }
 

@@ -44,9 +44,11 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod background;
+pub mod retry;
 pub mod sync;
 
 pub use background::{BackgroundWorker, BackgroundWorkerIn};
+pub use retry::{AckOutcome, LossShim, ReliableLink, ReliableLinkIn, SendOutcome};
 pub use sync::{RealSync, SyncBackend};
 
 use crate::sync::real::{Arc, Ordering};

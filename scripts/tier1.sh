@@ -24,3 +24,17 @@ cargo test -q --offline -p mmsb-check
 # a regression in the prefetch pipeline fail loudly and first.)
 cargo test -q --offline -p mmsb-core --test pipeline_determinism
 cargo test -q --offline -p mmsb-core --test zero_alloc
+
+# Failure-layer contracts: recoverable faults never change the chain,
+# kill-and-resume from an on-disk checkpoint is bitwise-identical, a
+# permanently lost worker degrades to R-1 survivors, message-layer
+# timeouts/acks survive dead peers, and the retry handshake is
+# model-checked (including its seeded-bug negative control).
+cargo test -q --offline -p mmsb-core --test fault_determinism
+cargo test -q --offline -p mmsb-core --test checkpoint_resume
+cargo test -q --offline -p mmsb-comm --test partial_failure
+cargo test -q --offline -p mmsb-check --test model_retry
+
+# Complementary real-execution race check; skips cleanly when the
+# nightly TSan prerequisites are absent.
+bash scripts/sanitize.sh
