@@ -109,6 +109,9 @@ fn append_rows(path: &Path, rows: &[Row]) {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    // Metrics-level obs: the scenarios' retry counters, recovery count,
+    // and per-phase histograms land in the snapshot this run points at.
+    mmsb::obs::init(ObsConfig::at(ObsLevel::Metrics));
     let iters = if quick { 10 } else { 40 };
     let scenarios = [
         Scenario {
@@ -150,6 +153,8 @@ fn main() {
         );
         rows.push(row);
     }
-    append_rows(Path::new("BENCH_faults.json"), &rows);
-    eprintln!("appended {} rows to BENCH_faults.json", rows.len());
+    let out = Path::new("BENCH_faults.json");
+    append_rows(out, &rows);
+    mmsb_bench::timing::emit_obs_snapshot(out, "bench_faults", 1);
+    eprintln!("appended {} rows to {}", rows.len() + 1, out.display());
 }

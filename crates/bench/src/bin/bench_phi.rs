@@ -8,7 +8,8 @@
 //! per-vertex updates actually performed.
 
 use mmsb::prelude::*;
-use mmsb_bench::timing::{append_json, fmt_ns, Measurement};
+use mmsb_bench::timing::{append_json, emit_obs_snapshot, fmt_ns, host_cores, Measurement, BENCH_SCHEMA};
+use std::io::Write;
 use std::path::Path;
 use std::time::Instant;
 
@@ -58,9 +59,77 @@ fn measure(g: &Graph, h: &HeldOut, threads: usize, quick: bool) -> (Measurement,
     (m, updates_per_sec)
 }
 
+/// Measured per-step cost of one warmed sampler at each obs level,
+/// interleaved (off, metrics, spans, off, metrics, spans, ...) so drift
+/// hits all three equally. Returns median ns/step per level.
+fn measure_obs_levels(g: &Graph, h: &HeldOut, quick: bool) -> [f64; 3] {
+    let cfg = SamplerConfig::new(32).with_seed(7);
+    let mut s = ParallelSampler::with_threads(g.clone(), h.clone(), cfg, 1).unwrap();
+    s.run(if quick { 5 } else { 20 });
+    let (rounds, steps) = if quick { (3, 5u64) } else { (9, 20u64) };
+    let levels = [ObsLevel::Off, ObsLevel::Metrics, ObsLevel::Spans];
+    let mut samples: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for _ in 0..rounds {
+        for (i, level) in levels.iter().enumerate() {
+            mmsb::obs::set_level(*level);
+            let t0 = Instant::now();
+            s.run(steps);
+            samples[i].push(t0.elapsed().as_secs_f64() * 1e9 / steps as f64);
+        }
+    }
+    mmsb::obs::set_level(ObsLevel::Off);
+    samples.map(|mut v| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    })
+}
+
+/// The overhead gate the tentpole promises: with the obs registry and
+/// span rings pre-sized, a fully instrumented phi step must stay within
+/// `bound` of the obs-off step. The full-run bound is the 5% acceptance
+/// figure; `--quick` (CI smoke on a possibly loaded host, 5-step
+/// batches) uses a generous noise bound so scheduler jitter cannot fail
+/// the build while a real regression (a lock or allocation on the hot
+/// path, orders of magnitude) still would.
+fn obs_overhead_gate(g: &Graph, h: &HeldOut, quick: bool, out: &Path) {
+    let [off_ns, metrics_ns, spans_ns] = measure_obs_levels(g, h, quick);
+    let overhead_metrics = metrics_ns / off_ns - 1.0;
+    let overhead_spans = spans_ns / off_ns - 1.0;
+    println!(
+        "obs_overhead: off {} / metrics {} ({:+.2}%) / spans {} ({:+.2}%)",
+        fmt_ns(off_ns),
+        fmt_ns(metrics_ns),
+        overhead_metrics * 100.0,
+        fmt_ns(spans_ns),
+        overhead_spans * 100.0
+    );
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out)
+        .expect("open BENCH_phi.json for append");
+    writeln!(
+        f,
+        "{{\"schema\":{BENCH_SCHEMA},\"suite\":\"bench_phi\",\"id\":\"obs_overhead/threads=1\",\"off_ns\":{off_ns:.1},\"metrics_ns\":{metrics_ns:.1},\"spans_ns\":{spans_ns:.1},\"overhead_metrics\":{overhead_metrics:.4},\"overhead_spans\":{overhead_spans:.4},\"threads\":1,\"host_cores\":{}}}",
+        host_cores()
+    )
+    .expect("append BENCH_phi.json");
+    let bound = if quick { 0.50 } else { 0.05 };
+    let worst = overhead_metrics.max(overhead_spans);
+    assert!(
+        worst <= bound,
+        "obs overhead gate failed: worst level costs {:.2}% over off (bound {:.0}%)",
+        worst * 100.0,
+        bound * 100.0
+    );
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let out = Path::new("BENCH_phi.json");
+    // Size the obs storage up front (level off): the sweep below measures
+    // the un-instrumented baseline, the gate then flips levels in place.
+    mmsb::obs::init(ObsConfig::at(ObsLevel::Off));
     let (g, h) = build(quick);
     let max_threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -95,5 +164,13 @@ fn main() {
         );
     }
     append_json(out, "bench_phi", &results);
-    eprintln!("appended {} lines to {}", results.len(), out.display());
+    obs_overhead_gate(&g, &h, quick, out);
+    // Leave metrics armed for one last instrumented burst so the snapshot
+    // the run points at is populated.
+    mmsb::obs::set_level(ObsLevel::Metrics);
+    let cfg = SamplerConfig::new(32).with_seed(7);
+    let mut s = ParallelSampler::with_threads(g.clone(), h.clone(), cfg, 1).unwrap();
+    s.run(if quick { 5 } else { 20 });
+    emit_obs_snapshot(out, "bench_phi", 1);
+    eprintln!("appended {} lines to {}", results.len() + 2, out.display());
 }

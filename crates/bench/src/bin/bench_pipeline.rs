@@ -151,6 +151,11 @@ fn append_rows(path: &Path, rows: &[Row]) {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    // Metrics-level obs: the DKV read/write counters and latency
+    // histograms of the measured workload land in the snapshot this run
+    // points at. (Metrics recording is atomics-only; both modes pay the
+    // same sub-noise cost, so the overlap ratio is undisturbed.)
+    mmsb::obs::init(ObsConfig::at(ObsLevel::Metrics));
     let reps = if quick { 5 } else { 21 };
     // Latencies chosen so per-chunk load (chunk * latency + copy) is the
     // same order as per-chunk compute — the balanced regime where double
@@ -183,5 +188,6 @@ fn main() {
     }
     let out = Path::new("BENCH_pipeline.json");
     append_rows(out, &rows);
-    eprintln!("appended {} lines to {}", rows.len(), out.display());
+    mmsb_bench::timing::emit_obs_snapshot(out, "bench_pipeline", 2);
+    eprintln!("appended {} lines to {}", rows.len() + 1, out.display());
 }

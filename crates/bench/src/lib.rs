@@ -344,6 +344,39 @@ pub mod timing {
         }
     }
 
+    /// Write the global obs metrics snapshot to `<bench stem>.obs.json`
+    /// next to `bench_path` and append a pointer line to the bench
+    /// output, so every bench run records which snapshot it produced.
+    /// Returns the snapshot path, or `None` when obs was never
+    /// initialized (nothing to export).
+    pub fn emit_obs_snapshot(
+        bench_path: &std::path::Path,
+        suite: &str,
+        threads: usize,
+    ) -> Option<PathBuf> {
+        let obs = mmsb_obs::get()?;
+        let snapshot = bench_path.with_extension("obs.json");
+        let json = mmsb_obs::export::metrics_json(&obs.metrics, Some(&obs.spans), threads);
+        std::fs::write(&snapshot, json).expect("write obs snapshot");
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(bench_path)
+            .expect("open bench json for append");
+        writeln!(
+            f,
+            "{{\"schema\":{},\"suite\":\"{}\",\"id\":\"obs_snapshot\",\"path\":\"{}\",\"threads\":{},\"host_cores\":{}}}",
+            BENCH_SCHEMA,
+            suite,
+            snapshot.display(),
+            threads,
+            host_cores()
+        )
+        .expect("append obs snapshot line");
+        eprintln!("obs metrics snapshot written to {}", snapshot.display());
+        Some(snapshot)
+    }
+
     /// Format nanoseconds with adaptive units.
     pub fn fmt_ns(ns: f64) -> String {
         if ns >= 1e9 {

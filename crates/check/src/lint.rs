@@ -33,6 +33,12 @@
 //!   handshake (`crates/pool/src/retry.rs`) and the faulting store
 //!   wrapper (`crates/dkv/src/faults.rs`) stay generic over the backend,
 //!   which is what lets `model_retry.rs` explore the handshake's races.
+//! * **time-confinement** — `std::time::Instant` / `SystemTime` may be
+//!   named only under `crates/obs` and `crates/bench`. Everything else
+//!   reads the clock through `mmsb_obs::clock` (`Stopwatch`, `now_ns`),
+//!   so instrumentation shares one anchor, the off level provably never
+//!   touches the clock, and the virtual-time simulation never silently
+//!   mixes in wall-clock reads.
 
 use std::fmt;
 use std::fs;
@@ -55,6 +61,12 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
 /// Within these crates, `std::sync` is confined to the sync module.
 const SYNC_CONFINED: &[&str] = &["crates/pool/src", "crates/dkv/src"];
 const SYNC_MODULE: &str = "crates/pool/src/sync";
+
+/// Path prefixes where the wall clock may be named directly. Everyone
+/// else goes through `mmsb_obs::clock`.
+const TIME_ALLOWED: &[&str] = &["crates/obs", "crates/bench"];
+/// Clock-type tokens the time-confinement rule forbids elsewhere.
+const TIME_TOKENS: &[&str] = &["Instant", "SystemTime"];
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -321,6 +333,24 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Violation> {
         }
     }
 
+    if !TIME_ALLOWED.iter().any(|p| rel.starts_with(p)) {
+        for t in &toks {
+            if TIME_TOKENS.contains(&t.text.as_str()) {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: t.line,
+                    rule: "time-confinement",
+                    message: format!(
+                        "`{}` named outside crates/obs and crates/bench; read time \
+                         through `mmsb_obs::clock` (Stopwatch / now_ns) so the shared \
+                         anchor and the obs off-level guarantees hold",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+
     if SYNC_CONFINED.iter().any(|p| rel.starts_with(p)) && !rel.starts_with(SYNC_MODULE) {
         for w in toks.windows(4) {
             if w[0].text == "std" && w[1].text == ":" && w[2].text == ":" && w[3].text == "sync" {
@@ -529,6 +559,22 @@ fn real() { }
         assert!(vs.iter().any(|v| v.rule == "std-sync-confinement"), "{vs:?}");
         assert!(lint_file("crates/pool/src/sync/real.rs", src).is_empty());
         assert!(lint_file("crates/graph/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn time_confinement() {
+        let uses = "use std::time::Instant;";
+        let vs = lint_file("crates/core/src/sampler/distributed.rs", uses);
+        assert!(vs.iter().any(|v| v.rule == "time-confinement"), "{vs:?}");
+        let sys = "let t = std::time::SystemTime::now();";
+        let vs = lint_file("crates/dkv/src/pipeline.rs", sys);
+        assert!(vs.iter().any(|v| v.rule == "time-confinement"), "{vs:?}");
+        // The clock crate and the bench harness are the two sanctioned homes.
+        assert!(lint_file("crates/obs/src/clock.rs", uses).is_empty());
+        assert!(lint_file("crates/bench/src/timing.rs", uses).is_empty());
+        // Comments and strings never trip the token rule.
+        let masked = "// Instant\nlet s = \"SystemTime\";";
+        assert!(lint_file("crates/graph/src/lib.rs", masked).is_empty());
     }
 
     #[test]

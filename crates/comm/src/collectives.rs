@@ -9,6 +9,33 @@
 
 use crate::message::{MessageReader, MessageWriter};
 use crate::{CommError, Endpoint};
+use mmsb_obs::id as obs_id;
+
+/// Per-collective instrumentation: bumps the collective counter at open
+/// and records the wall time (histogram + span) when dropped, so every
+/// return path of a collective is covered.
+struct CollectiveObs {
+    sw: Option<mmsb_obs::clock::Stopwatch>,
+    _span: mmsb_obs::Span,
+}
+
+impl CollectiveObs {
+    fn open() -> Self {
+        mmsb_obs::counter_add(obs_id::C_COMM_COLLECTIVES, 1);
+        Self {
+            sw: mmsb_obs::metrics_on().then(mmsb_obs::clock::Stopwatch::start),
+            _span: mmsb_obs::span(obs_id::S_COMM_COLLECTIVE),
+        }
+    }
+}
+
+impl Drop for CollectiveObs {
+    fn drop(&mut self) {
+        if let Some(sw) = self.sw {
+            mmsb_obs::hist_record_ns(obs_id::H_COMM_COLLECTIVE_NS, sw.elapsed_ns());
+        }
+    }
+}
 
 /// Broadcast `data` from `root` to all ranks; every rank returns the
 /// root's payload.
@@ -17,6 +44,7 @@ pub fn broadcast_bytes(
     root: usize,
     data: Vec<u8>,
 ) -> Result<Vec<u8>, CommError> {
+    let _obs = CollectiveObs::open();
     if ep.rank() == root {
         for r in 0..ep.size() {
             if r != root {
@@ -36,6 +64,7 @@ pub fn reduce_sum_f64(
     root: usize,
     data: &[f64],
 ) -> Result<Option<Vec<f64>>, CommError> {
+    let _obs = CollectiveObs::open();
     if ep.rank() == root {
         let mut acc = data.to_vec();
         for r in 0..ep.size() {
@@ -81,6 +110,7 @@ const TAG_ABORT: u8 = 1;
 /// the remaining live ranks, and *every* survivor (root included)
 /// returns `CommError::Disconnected { peer: dead }` — no rank hangs.
 pub fn allreduce_sum_f64(ep: &Endpoint, data: &[f64]) -> Result<Vec<f64>, CommError> {
+    let _obs = CollectiveObs::open();
     let root = 0;
     if ep.rank() == root {
         let mut acc = data.to_vec();
@@ -120,6 +150,7 @@ pub fn allreduce_sum_f64(ep: &Endpoint, data: &[f64]) -> Result<Vec<f64>, CommEr
                 bytes
             }
             Some(d) => {
+                mmsb_obs::counter_add(obs_id::C_COMM_ABORTS, 1);
                 let mut bytes = vec![TAG_ABORT];
                 bytes.extend_from_slice(&(d as u64).to_le_bytes());
                 bytes
@@ -171,6 +202,7 @@ pub fn scatter_bytes(
     root: usize,
     parts: Option<Vec<Vec<u8>>>,
 ) -> Result<Vec<u8>, CommError> {
+    let _obs = CollectiveObs::open();
     if ep.rank() == root {
         let parts = parts.ok_or_else(|| CommError::Malformed {
             reason: "scatter root called without parts".into(),
@@ -201,6 +233,7 @@ pub fn gather_bytes(
     root: usize,
     data: Vec<u8>,
 ) -> Result<Option<Vec<Vec<u8>>>, CommError> {
+    let _obs = CollectiveObs::open();
     if ep.rank() == root {
         let mut all: Vec<Vec<u8>> = vec![Vec::new(); ep.size()];
         all[root] = data;

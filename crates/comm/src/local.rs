@@ -6,10 +6,12 @@
 //! meant to be moved into its rank's thread.
 
 use crate::CommError;
+use mmsb_obs::clock::Stopwatch;
+use mmsb_obs::id as obs_id;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Barrier};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How often a blocked `recv` re-checks peer liveness and its deadline.
 const LIVENESS_POLL: Duration = Duration::from_millis(1);
@@ -111,7 +113,9 @@ impl Endpoint {
             })?;
         sender
             .send((self.rank, payload))
-            .map_err(|_| CommError::Disconnected { peer: to })
+            .map_err(|_| CommError::Disconnected { peer: to })?;
+        mmsb_obs::counter_add(obs_id::C_COMM_SENDS, 1);
+        Ok(())
     }
 
     /// Whether rank `r`'s endpoint is still alive (not yet dropped).
@@ -148,14 +152,16 @@ impl Endpoint {
         {
             let mut pending = self.pending.borrow_mut();
             if let Some(i) = pending.iter().position(|(src, _)| *src == from) {
+                mmsb_obs::counter_add(obs_id::C_COMM_RECVS, 1);
                 return Ok(pending.remove(i).1);
             }
         }
-        let start = Instant::now();
+        let start = Stopwatch::start();
         loop {
             match self.receiver.recv_timeout(LIVENESS_POLL) {
                 Ok((src, payload)) => {
                     if src == from {
+                        mmsb_obs::counter_add(obs_id::C_COMM_RECVS, 1);
                         return Ok(payload);
                     }
                     self.pending.borrow_mut().push((src, payload));
@@ -170,6 +176,7 @@ impl Endpoint {
                         // so drain the channel before giving up.
                         while let Ok((src, payload)) = self.receiver.try_recv() {
                             if src == from {
+                                mmsb_obs::counter_add(obs_id::C_COMM_RECVS, 1);
                                 return Ok(payload);
                             }
                             self.pending.borrow_mut().push((src, payload));
@@ -177,7 +184,8 @@ impl Endpoint {
                         return Err(CommError::Disconnected { peer: from });
                     }
                     if let Some(d) = self.deadline.get() {
-                        if start.elapsed() >= d {
+                        if start.elapsed_secs() >= d.as_secs_f64() {
+                            mmsb_obs::counter_add(obs_id::C_COMM_TIMEOUTS, 1);
                             return Err(CommError::Timeout { peer: from });
                         }
                     }

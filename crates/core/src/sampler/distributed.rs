@@ -34,8 +34,10 @@ use mmsb_netsim::{
     collective, ClusterClocks, DkvFault, FaultConfig, FaultPlan, MsgFault, NetworkModel, Phase,
     PhaseTimes, RecoveryPolicy, TraceReport,
 };
+use mmsb_netsim::obs_bridge;
+use mmsb_obs::clock::Stopwatch;
+use mmsb_obs::id as obs_id;
 use mmsb_rand::Xoshiro256PlusPlus;
-use std::time::Instant;
 
 /// Cluster-level configuration of the distributed sampler.
 #[derive(Debug, Clone, Copy)]
@@ -298,6 +300,8 @@ impl DistributedSampler {
     /// Snapshot the full chain state (state arrays, theta/beta, RNG
     /// streams, iteration, perplexity accumulator).
     pub fn checkpoint(&self) -> Checkpoint {
+        let _ckpt_span = mmsb_obs::span(obs_id::S_CHECKPOINT);
+        mmsb_obs::counter_add(obs_id::C_CHECKPOINTS, 1);
         Checkpoint::capture(&self.engine)
     }
 
@@ -328,6 +332,22 @@ impl DistributedSampler {
         Ok(())
     }
 
+    /// Record a phase time in the virtual-time trace and mirror it into
+    /// the obs per-phase histogram, so the printed breakdown and an
+    /// exported metrics snapshot share one accounting.
+    fn trace_add(&mut self, phase: Phase, seconds: f64) {
+        self.trace.add(phase, seconds);
+        mmsb_obs::hist_record_secs(obs_bridge::phase_hist_id(phase), seconds);
+    }
+
+    /// Record one modeled collective. The simulate path never touches
+    /// `mmsb-comm` (collectives are priced by the netsim formulas), so
+    /// the comm-collective metrics are mirrored here at the model sites.
+    fn obs_collective(seconds: f64) {
+        mmsb_obs::counter_add(obs_id::C_COMM_COLLECTIVES, 1);
+        mmsb_obs::hist_record_secs(obs_id::H_COMM_COLLECTIVE_NS, seconds);
+    }
+
     /// Number of worker ranks (reflects degradation after a worker loss).
     pub fn workers(&self) -> usize {
         self.dcfg.workers
@@ -340,6 +360,8 @@ impl DistributedSampler {
 
     /// Run one full iteration.
     pub fn step(&mut self) {
+        let _step_span = mmsb_obs::span(obs_id::S_STEP);
+        let step_sw = mmsb_obs::metrics_on().then(Stopwatch::start);
         // Permanent worker loss fires at the start of its iteration: the
         // master detects the dead rank, rewinds to the last checkpoint,
         // and re-partitions over the survivors before drawing anything.
@@ -357,10 +379,10 @@ impl DistributedSampler {
         let node = self.dcfg.node;
 
         // ------------------------------------------------- master: draw
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mb = self.engine.draw_minibatch();
-        let draw = t0.elapsed().as_secs_f64();
-        self.trace.add(Phase::DrawMinibatch, draw);
+        let draw = t0.elapsed_secs();
+        self.trace_add(Phase::DrawMinibatch, draw);
 
         let vertices = mb.vertices();
         let vertex_shares = split_contiguous(&vertices, r);
@@ -383,7 +405,8 @@ impl DistributedSampler {
             .unwrap_or(0);
         let deploy = collective::scatter(&net, r + 1, deploy_bytes)
             + self.collective_retry_cost(STAGE_DEPLOY, &mut recovery_t);
-        self.trace.add(Phase::DeployMinibatch, deploy);
+        Self::obs_collective(deploy);
+        self.trace_add(Phase::DeployMinibatch, deploy);
         self.clocks.advance(0, draw + deploy);
         if self.dcfg.pipeline == PipelineMode::Single {
             // Non-pipelined: workers wait for the deployment.
@@ -412,7 +435,7 @@ impl DistributedSampler {
             let rank = w + 1;
             // Sample neighbor sets (worker compute, thread-parallel on the
             // node).
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let mut per_vertex: Vec<(VertexId, Vec<VertexId>, Xoshiro256PlusPlus)> = share
                 .iter()
                 .map(|&a| {
@@ -425,7 +448,7 @@ impl DistributedSampler {
                     (a, ns, rng)
                 })
                 .collect();
-            let neigh = node.scale(t0.elapsed().as_secs_f64());
+            let neigh = node.scale(t0.elapsed_secs());
             self.clocks.advance(rank, neigh);
             max_neigh = max_neigh.max(neigh);
 
@@ -539,17 +562,17 @@ impl DistributedSampler {
             }
         }
         recovery_t += max_stage_recovery;
-        self.trace.add(Phase::SampleNeighbors, max_neigh);
-        self.trace.add(Phase::LoadPi, max_load);
-        self.trace.add(Phase::UpdatePhi, max_compute);
+        self.trace_add(Phase::SampleNeighbors, max_neigh);
+        self.trace_add(Phase::LoadPi, max_load);
+        self.trace_add(Phase::UpdatePhi, max_compute);
         if self.dcfg.pipeline == PipelineMode::Double {
-            self.trace.add(Phase::Prefetch, max_wall);
+            self.trace_add(Phase::Prefetch, max_wall);
         }
 
         // Barrier before update_pi (memory consistency, paper §III-C).
         let barrier_cost = net.barrier_time(r + 1);
         self.clocks.barrier(barrier_cost);
-        self.trace.add(Phase::Barrier, barrier_cost);
+        self.trace_add(Phase::Barrier, barrier_cost);
 
         // ------------------------------------------ workers: update_pi
         // Apply updates to the authoritative state, then write the fresh
@@ -560,7 +583,7 @@ impl DistributedSampler {
         let update_shares = split_contiguous(&all_updates, r);
         for (w, share) in update_shares.iter().enumerate() {
             let rank = w + 1;
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let keys: Vec<u32> = share.iter().map(|(a, _)| a.0).collect();
             let mut vals = vec![0.0f32; keys.len() * (k + 1)];
             for (i, &key) in keys.iter().enumerate() {
@@ -568,7 +591,7 @@ impl DistributedSampler {
                     .state
                     .encode_dkv_row(key, &mut vals[i * (k + 1)..(i + 1) * (k + 1)]);
             }
-            let compute = node.scale(t0.elapsed().as_secs_f64());
+            let compute = node.scale(t0.elapsed_secs());
             let wire = self.store.inner().write_cost(w, &keys, &net);
             // The real write goes through the fault layer: a failed
             // attempt really applies a partial prefix, and the retry's
@@ -584,11 +607,11 @@ impl DistributedSampler {
             max_write_recovery = max_write_recovery.max(outcome.recovery_seconds);
         }
         recovery_t += max_write_recovery;
-        self.trace.add(Phase::UpdatePi, max_pi);
+        self.trace_add(Phase::UpdatePi, max_pi);
 
         // Barrier before update_beta (fresh pi everywhere).
         self.clocks.barrier(barrier_cost);
-        self.trace.add(Phase::Barrier, barrier_cost);
+        self.trace_add(Phase::Barrier, barrier_cost);
 
         // --------------------------------- update_beta_theta (4 steps)
         let mut beta_stage = 0.0f64;
@@ -602,9 +625,9 @@ impl DistributedSampler {
                 .flat_map(|&(e, _)| [e.lo().0, e.hi().0])
                 .collect();
             let wire = self.store.inner().read_cost(w, &keys, &net);
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let grad = self.engine.theta_gradient_slice(share, weight_shares[w]);
-            let compute = node.scale(t0.elapsed().as_secs_f64());
+            let compute = node.scale(t0.elapsed_secs());
             for (g, c) in grad_total.iter_mut().zip(&grad) {
                 *g += c;
             }
@@ -616,29 +639,37 @@ impl DistributedSampler {
         // contribution stalls the sync point for its timeout + retransmit.
         let reduce = collective::reduce(&net, r + 1, 2 * k * 8)
             + self.collective_retry_cost(STAGE_REDUCE, &mut recovery_t);
+        Self::obs_collective(reduce);
         let t_reduce = self.clocks.barrier(reduce); // reduce is a sync point
         beta_stage += reduce;
         let _ = t_reduce;
         // Master: theta step + beta broadcast.
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         self.engine.apply_theta_update(&grad_total);
-        let master_compute = t0.elapsed().as_secs_f64();
+        let master_compute = t0.elapsed_secs();
         let bcast = collective::broadcast(&net, r + 1, k * 8)
             + self.collective_retry_cost(STAGE_BROADCAST, &mut recovery_t);
+        Self::obs_collective(bcast);
         self.clocks.advance(0, master_compute + bcast);
         self.clocks.barrier(0.0);
         beta_stage += master_compute + bcast;
-        self.trace.add(Phase::UpdateBetaTheta, beta_stage);
+        self.trace_add(Phase::UpdateBetaTheta, beta_stage);
 
         if recovery_t > 0.0 {
-            self.trace.add(Phase::Recovery, recovery_t);
+            self.trace_add(Phase::Recovery, recovery_t);
         }
 
         self.engine.bump_iteration();
         if let Some(every) = self.checkpoint_every {
             if self.engine.iteration.is_multiple_of(every) {
+                let _ckpt_span = mmsb_obs::span(obs_id::S_CHECKPOINT);
+                mmsb_obs::counter_add(obs_id::C_CHECKPOINTS, 1);
                 self.last_checkpoint = Some(Checkpoint::capture(&self.engine));
             }
+        }
+        mmsb_obs::counter_add(obs_id::C_SAMPLER_STEPS, 1);
+        if let Some(sw) = step_sw {
+            mmsb_obs::hist_record_ns(obs_id::H_STEP_NS, sw.elapsed_ns());
         }
     }
 
@@ -659,6 +690,7 @@ impl DistributedSampler {
     /// recovery time. Worker count never changes the numerics, so the
     /// degraded run still reproduces the fault-free chain bit-for-bit.
     fn degrade(&mut self, dead: usize) {
+        mmsb_obs::counter_add(obs_id::C_RECOVERIES, 1);
         let ckpt = self
             .last_checkpoint
             .clone()
@@ -679,10 +711,11 @@ impl DistributedSampler {
         let bytes = n as usize * (k + 1) * 4;
         let cost = self.policy.stage_timeout
             + collective::scatter(&self.dcfg.net, self.dcfg.workers + 1, bytes);
+        Self::obs_collective(cost);
         let resume_at = self.clocks.max() + cost;
         self.clocks = ClusterClocks::new(self.dcfg.workers + 1);
         self.clocks.barrier(resume_at);
-        self.trace.add(Phase::Recovery, cost);
+        self.trace_add(Phase::Recovery, cost);
     }
 
     /// Modeled seconds `rank`'s chunked read stage spends on transient
@@ -770,18 +803,19 @@ impl DistributedSampler {
                 .flat_map(|&(e, _)| [e.lo().0, e.hi().0])
                 .collect();
             let wire = self.store.inner().read_cost(w, &keys, &net);
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let probs = self.engine.perplexity_probs(offset, offset + share.len());
-            let compute = node.scale(t0.elapsed().as_secs_f64());
+            let compute = node.scale(t0.elapsed_secs());
             offset += share.len();
             all_probs.extend(probs);
             self.clocks.advance(rank, wire + compute);
             max_t = max_t.max(wire + compute);
         }
         let gather = collective::gather(&net, r + 1, (total / r.max(1)) * 8);
+        Self::obs_collective(gather);
         self.clocks.advance(0, gather);
         self.clocks.barrier(0.0);
-        self.trace.add(Phase::Perplexity, max_t + gather);
+        self.trace_add(Phase::Perplexity, max_t + gather);
         self.engine.record_perplexity_sample(&all_probs)
     }
 

@@ -10,10 +10,41 @@
 
 use crate::sampler::engine::{Engine, PHI_CHUNK};
 use crate::workspace::Workspace;
+use mmsb_netsim::obs_bridge;
+use mmsb_netsim::Phase;
+use mmsb_obs::id as obs_id;
 use mmsb_pool::{tree_combine_f64, SharedSlice, ThreadPool};
 
 /// Held-out pairs per perplexity chunk.
 const PERPLEXITY_CHUNK: usize = 1024;
+
+/// Phase-scoped instrumentation: opens the phase's span and (when metrics
+/// are on) a stopwatch, and records the per-phase latency histogram on
+/// drop. Everything it touches is a pre-sized atomic slot, so it is safe
+/// on the zero-allocation hot path that `tests/zero_alloc.rs` gates.
+struct PhaseObs {
+    hist: usize,
+    sw: Option<mmsb_obs::clock::Stopwatch>,
+    _span: mmsb_obs::Span,
+}
+
+impl PhaseObs {
+    fn open(phase: Phase) -> Self {
+        Self {
+            hist: obs_bridge::phase_hist_id(phase),
+            sw: mmsb_obs::metrics_on().then(mmsb_obs::clock::Stopwatch::start),
+            _span: mmsb_obs::span(obs_bridge::phase_span_id(phase)),
+        }
+    }
+}
+
+impl Drop for PhaseObs {
+    fn drop(&mut self) {
+        if let Some(sw) = self.sw {
+            mmsb_obs::hist_record_ns(self.hist, sw.elapsed_ns());
+        }
+    }
+}
 
 /// Driver-owned per-iteration buffers, allocated once and reused.
 pub(crate) struct StepBuffers {
@@ -59,13 +90,19 @@ pub(crate) fn step(
     workspaces: &mut [Workspace],
     bufs: &mut StepBuffers,
 ) {
-    engine.refresh_minibatch();
+    let _step_span = mmsb_obs::span(obs_id::S_STEP);
+    let step_sw = mmsb_obs::metrics_on().then(mmsb_obs::clock::Stopwatch::start);
+    {
+        let _p = PhaseObs::open(Phase::DrawMinibatch);
+        engine.refresh_minibatch();
+    }
     let k = engine.config.k;
 
     // Stage 2: phi updates.
     let nv = engine.mb_vertices.len();
     ensure_len(&mut bufs.updates, nv * k);
     {
+        let _p = PhaseObs::open(Phase::UpdatePhi);
         let eng = &*engine;
         let out = SharedSlice::new(&mut bufs.updates[..nv * k]);
         pool.run_with(workspaces, nv.div_ceil(PHI_CHUNK), |ws, chunk| {
@@ -84,9 +121,13 @@ pub(crate) fn step(
     }
 
     // Stage 3: barrier, then apply.
-    engine.apply_phi_updates_flat(&bufs.updates[..nv * k]);
+    {
+        let _p = PhaseObs::open(Phase::UpdatePi);
+        engine.apply_phi_updates_flat(&bufs.updates[..nv * k]);
+    }
 
     // Stage 4: theta update against the fresh pi.
+    let _p_theta = PhaseObs::open(Phase::UpdateBetaTheta);
     let n_chunks = engine.theta_chunk_count();
     ensure_len(&mut bufs.chunk_grads, n_chunks * 2 * k);
     {
@@ -100,8 +141,13 @@ pub(crate) fn step(
     }
     tree_combine_f64(&mut bufs.chunk_grads[..n_chunks * 2 * k], 2 * k, n_chunks);
     engine.apply_theta_update(&bufs.chunk_grads[..2 * k]);
+    drop(_p_theta);
 
     engine.bump_iteration();
+    mmsb_obs::counter_add(obs_id::C_SAMPLER_STEPS, 1);
+    if let Some(sw) = step_sw {
+        mmsb_obs::hist_record_ns(obs_id::H_STEP_NS, sw.elapsed_ns());
+    }
 }
 
 /// Evaluate held-out perplexity: each chunk fills its disjoint slice of
@@ -113,6 +159,7 @@ pub(crate) fn evaluate_perplexity(
     workspaces: &mut [Workspace],
     bufs: &mut StepBuffers,
 ) -> f64 {
+    let _p = PhaseObs::open(Phase::Perplexity);
     let n = engine.heldout.len();
     ensure_len(&mut bufs.probs, n);
     {

@@ -23,6 +23,7 @@ use mmsb_dkv::{DkvStore, Partition, ShardedStore};
 use mmsb_graph::generate::planted::{generate_planted, PlantedConfig};
 use mmsb_graph::heldout::HeldOut;
 use mmsb_netsim::NetworkModel;
+use mmsb_obs::{ObsConfig, ObsLevel};
 use mmsb_rand::Xoshiro256PlusPlus;
 
 /// Wraps [`System`], counting allocations and reallocations (not frees:
@@ -78,6 +79,12 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_step_is_allocation_free() {
+    // Full observability stays on for the whole test: the obs registry
+    // and span ring are sized once here, so counters, histograms, and
+    // span records land in pre-allocated atomic slots. The gates below
+    // therefore also prove instrumentation costs zero heap traffic.
+    mmsb_obs::init(ObsConfig::at(ObsLevel::Spans));
+
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
     let gen = generate_planted(
         &PlantedConfig {

@@ -121,6 +121,7 @@ impl FaultingStore {
                     // retry below overwrites every element, so the chain
                     // never observes these bytes.
                     out.fill(f32::NAN);
+                    mmsb_obs::counter_add(mmsb_obs::id::C_DKV_READ_RETRIES, 1);
                     recovery += healthy_cost + self.policy.backoff(&self.plan, site, attempt);
                 }
                 Some(DkvFault::Slow(factor)) => {
@@ -166,6 +167,7 @@ impl FaultingStore {
                     let cut = keys.len() / 2;
                     self.inner
                         .write_batch(&keys[..cut], &vals[..cut * row_len])?;
+                    mmsb_obs::counter_add(mmsb_obs::id::C_DKV_WRITE_RETRIES, 1);
                     recovery += healthy_cost + self.policy.backoff(&self.plan, site, attempt);
                 }
                 Some(DkvFault::Slow(factor)) => {

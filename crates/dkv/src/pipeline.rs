@@ -25,7 +25,7 @@
 use crate::{DkvError, DkvStore, ShardedStore};
 use mmsb_netsim::NetworkModel;
 use mmsb_pool::BackgroundWorker;
-use std::time::Instant;
+use mmsb_obs::clock::Stopwatch;
 
 /// Buffering mode for the `pi` loader.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -311,9 +311,9 @@ impl ChunkedReader {
             let rows = &mut buf[..chunk.len() * row_len];
             store.read_batch(chunk, rows)?;
             loads.push(chunk_cost(store, rank, chunk, net, self.dedup, unique));
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             compute(start, chunk, rows);
-            computes.push(t0.elapsed().as_secs_f64() * self.compute_scale);
+            computes.push(t0.elapsed_secs() * self.compute_scale);
             start = end;
         }
         Ok(PipelineRun {
@@ -472,7 +472,7 @@ impl PrefetchingReader {
             back.resize(max_chunk * row_len, 0.0);
         }
 
-        let wall0 = Instant::now();
+        let wall0 = Stopwatch::start();
         // Chunk 0 has nothing to hide behind: load it synchronously.
         let first = &keys[..ends[0]];
         store.read_batch(first, &mut front[..first.len() * row_len])?;
@@ -506,9 +506,9 @@ impl PrefetchingReader {
                     unsafe { self.worker.spawn(&mut slot) };
                 }
                 let guard = WaitGuard(&self.worker);
-                let t0 = Instant::now();
+                let t0 = Stopwatch::start();
                 compute(start, chunk, &front[..chunk.len() * row_len]);
-                computes.push(t0.elapsed().as_secs_f64() * self.compute_scale);
+                computes.push(t0.elapsed_secs() * self.compute_scale);
                 std::mem::forget(guard);
                 self.worker.join();
             }
@@ -516,7 +516,7 @@ impl PrefetchingReader {
             std::mem::swap(&mut front, &mut back);
             start = end;
         }
-        let wall = wall0.elapsed().as_secs_f64();
+        let wall = wall0.elapsed_secs();
         Ok(PrefetchRun {
             modeled: PipelineRun {
                 total: schedule(loads, computes, PipelineMode::Double),

@@ -2,6 +2,48 @@
 
 use crate::{DkvError, Partition};
 use mmsb_netsim::NetworkModel;
+use mmsb_obs::id as obs_id;
+
+/// Per-batch instrumentation shared by the store implementations: bumps
+/// the batch/key counters at open and records the latency histogram (and
+/// a span at spans level) when dropped, covering every return path.
+/// Pure atomics — keeps the instrumented `read_batch`/`write_batch`
+/// allocation-free, as `crates/core/tests/zero_alloc.rs` verifies.
+pub(crate) struct OpObs {
+    sw: Option<mmsb_obs::clock::Stopwatch>,
+    hist: usize,
+    _span: mmsb_obs::Span,
+}
+
+impl OpObs {
+    pub(crate) fn read(keys: &[u32]) -> Self {
+        mmsb_obs::counter_add(obs_id::C_DKV_READ_BATCHES, 1);
+        mmsb_obs::counter_add(obs_id::C_DKV_READ_KEYS, keys.len() as u64);
+        Self::open(obs_id::S_DKV_READ, obs_id::H_DKV_READ_NS)
+    }
+
+    pub(crate) fn write(keys: &[u32]) -> Self {
+        mmsb_obs::counter_add(obs_id::C_DKV_WRITE_BATCHES, 1);
+        mmsb_obs::counter_add(obs_id::C_DKV_WRITE_KEYS, keys.len() as u64);
+        Self::open(obs_id::S_DKV_WRITE, obs_id::H_DKV_WRITE_NS)
+    }
+
+    fn open(span: usize, hist: usize) -> Self {
+        Self {
+            sw: mmsb_obs::metrics_on().then(mmsb_obs::clock::Stopwatch::start),
+            hist,
+            _span: mmsb_obs::span(span),
+        }
+    }
+}
+
+impl Drop for OpObs {
+    fn drop(&mut self) {
+        if let Some(sw) = self.sw {
+            mmsb_obs::hist_record_ns(self.hist, sw.elapsed_ns());
+        }
+    }
+}
 
 /// The store interface: batched reads and writes of fixed-size `f32` rows.
 ///
@@ -114,6 +156,7 @@ impl DkvStore for LocalStore {
     }
 
     fn read_batch(&self, keys: &[u32], out: &mut [f32]) -> Result<(), DkvError> {
+        let _obs = OpObs::read(keys);
         validate_batch(self.num_keys, self.row_len, keys, out.len())?;
         for (i, &k) in keys.iter().enumerate() {
             let src = k as usize * self.row_len;
@@ -124,6 +167,7 @@ impl DkvStore for LocalStore {
     }
 
     fn write_batch(&mut self, keys: &[u32], vals: &[f32]) -> Result<(), DkvError> {
+        let _obs = OpObs::write(keys);
         validate_batch(self.num_keys, self.row_len, keys, vals.len())?;
         check_no_duplicates(keys, &mut self.dup_scratch)?;
         for (i, &k) in keys.iter().enumerate() {
@@ -268,6 +312,7 @@ impl DkvStore for ShardedStore {
     }
 
     fn read_batch(&self, keys: &[u32], out: &mut [f32]) -> Result<(), DkvError> {
+        let _obs = OpObs::read(keys);
         validate_batch(self.num_keys(), self.row_len, keys, out.len())?;
         if self.read_latency_per_key > 0.0 && !keys.is_empty() {
             std::thread::sleep(std::time::Duration::from_secs_f64(
@@ -284,6 +329,7 @@ impl DkvStore for ShardedStore {
     }
 
     fn write_batch(&mut self, keys: &[u32], vals: &[f32]) -> Result<(), DkvError> {
+        let _obs = OpObs::write(keys);
         validate_batch(self.num_keys(), self.row_len, keys, vals.len())?;
         check_no_duplicates(keys, &mut self.dup_scratch)?;
         for (i, &k) in keys.iter().enumerate() {
@@ -378,9 +424,9 @@ mod tests {
         let mut a = vec![0.0; 20 * 3];
         let mut b = vec![0.0; 20 * 3];
         fast.read_batch(&keys, &mut a).unwrap();
-        let t0 = std::time::Instant::now();
+        let t0 = mmsb_obs::clock::Stopwatch::start();
         slow.read_batch(&keys, &mut b).unwrap();
-        let elapsed = t0.elapsed().as_secs_f64();
+        let elapsed = t0.elapsed_secs();
         assert_eq!(a, b, "latency changed delivered bytes");
         // 20 keys * 100us = 2ms floor (sleep may overshoot, never under).
         assert!(elapsed >= 1.9e-3, "read returned too fast: {elapsed}s");

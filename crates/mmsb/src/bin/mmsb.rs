@@ -58,8 +58,65 @@ impl Args {
 
 fn usage() -> String {
     "usage: mmsb <datasets|generate|train|simulate> [--flags]\n\
+     observability (train/simulate): --obs-level off|metrics|spans \
+     --metrics-out FILE --trace-out FILE\n\
      run `mmsb <command> --help` for the command's flags"
         .to_string()
+}
+
+/// Where the observability flags said to write exports at exit.
+struct ObsOutputs {
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+}
+
+/// Parse `--obs-level/--metrics-out/--trace-out` and initialise the
+/// global obs pipeline. Requesting an output file implies the level
+/// that feeds it, so `--trace-out t.json` alone captures spans.
+fn obs_setup(args: &Args) -> Result<ObsOutputs, String> {
+    let metrics_out = args.get("metrics-out").map(str::to_string);
+    let trace_out = args.get("trace-out").map(str::to_string);
+    let implied = if trace_out.is_some() {
+        ObsLevel::Spans
+    } else if metrics_out.is_some() {
+        ObsLevel::Metrics
+    } else {
+        ObsLevel::Off
+    };
+    let level = match args.get("obs-level") {
+        None => implied,
+        Some(v) => v
+            .parse::<ObsLevel>()?
+            .max(implied),
+    };
+    mmsb::obs::init(ObsConfig::at(level));
+    Ok(ObsOutputs {
+        metrics_out,
+        trace_out,
+    })
+}
+
+/// Write whatever exports the flags requested. `threads` lands in the
+/// metrics snapshot's `threads` field (bench-output convention).
+fn obs_finish(outputs: &ObsOutputs, threads: usize) -> Result<(), String> {
+    let Some(obs) = mmsb::obs::get() else {
+        return Ok(());
+    };
+    if let Some(path) = &outputs.trace_out {
+        mmsb::obs::export::write_chrome_trace(std::path::Path::new(path), &obs.spans)
+            .map_err(|e| format!("--trace-out {path}: {e}"))?;
+        println!(
+            "chrome trace ({} spans, {} dropped) written to {path}",
+            obs.spans.len(),
+            obs.spans.dropped()
+        );
+    }
+    if let Some(path) = &outputs.metrics_out {
+        let json = mmsb::obs::export::metrics_json(&obs.metrics, Some(&obs.spans), threads);
+        std::fs::write(path, json).map_err(|e| format!("--metrics-out {path}: {e}"))?;
+        println!("metrics snapshot written to {path}");
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -163,10 +220,12 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             "mmsb train [--input FILE | --dataset NAME | generator flags] \
              [--k K] [--iters N] [--driver sequential|parallel|threaded] \
              [--workers R] [--pipeline on|off] [--eval-every N] \
-             [--heldout L] [--seed S] [--threshold T] [--out FILE]"
+             [--heldout L] [--seed S] [--threshold T] [--out FILE] \
+             [--obs-level off|metrics|spans] [--metrics-out FILE] [--trace-out FILE]"
         );
         return Ok(());
     }
+    let obs_out = obs_setup(args)?;
     let (graph, truth) = if let Some(path) = args.get("input") {
         let loaded = io::load_edge_list(path).map_err(|e| e.to_string())?;
         (loaded.graph, None)
@@ -275,7 +334,12 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         }
         println!("communities written to {out}");
     }
-    Ok(())
+    let threads = if driver == "threaded" {
+        workers
+    } else {
+        mmsb::obs::export::host_cores()
+    };
+    obs_finish(&obs_out, threads)
 }
 
 fn cmd_simulate(args: &Args) -> Result<(), String> {
@@ -283,10 +347,12 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         println!(
             "mmsb simulate [--workers R] [--k K] [--iters N] [--pipeline on|off] \
              [--faults SEED] [--kill ITER:RANK] [--checkpoint-every N] \
-             [--checkpoint FILE] [--resume FILE] [generator flags]"
+             [--checkpoint FILE] [--resume FILE] [generator flags] \
+             [--obs-level off|metrics|spans] [--metrics-out FILE] [--trace-out FILE]"
         );
         return Ok(());
     }
+    let obs_out = obs_setup(args)?;
     let workers: usize = args.parsed("workers", 16)?;
     let k: usize = args.parsed("k", 32)?;
     let iters: u64 = args.parsed("iters", 50)?;
@@ -349,7 +415,11 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         "simulated {workers}-worker cluster, {iters} iterations, pipeline {:?}:\n",
         pipeline
     );
-    print!("{}", sampler.report());
+    let report = sampler.report();
+    // Re-emit the virtual-time phase breakdown as obs spans so a
+    // --trace-out file shows the same stage boundaries as the printout.
+    mmsb::netsim::obs_bridge::emit_trace_as_spans(&report);
+    print!("{report}");
     println!("\nvirtual time: {:.4} s", sampler.virtual_time());
     println!("held-out perplexity: {perplexity:.4}");
     if let Some(dead) = sampler.lost_worker() {
@@ -368,5 +438,5 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             sampler.iteration()
         );
     }
-    Ok(())
+    obs_finish(&obs_out, workers)
 }

@@ -1,0 +1,104 @@
+//! End-to-end observability round-trip through the `mmsb` binary:
+//! `simulate --obs-level spans --trace-out --metrics-out` must produce a
+//! chrome-trace file the in-tree parser validates and a metrics snapshot
+//! covering every sampler phase, the DKV ops, and the collectives.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn out_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mmsb-obs-cli-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn simulate_exports_valid_trace_and_metrics() {
+    let trace = out_path("t.json");
+    let metrics = out_path("m.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_mmsb"))
+        .args([
+            "simulate",
+            "--workers",
+            "4",
+            "--k",
+            "8",
+            "--iters",
+            "10",
+            "--vertices",
+            "300",
+            "--checkpoint-every",
+            "5",
+            "--obs-level",
+            "spans",
+        ])
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .output()
+        .expect("run mmsb binary");
+    assert!(
+        out.status.success(),
+        "mmsb simulate failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // ---- trace: parse with the in-tree parser and validate it ----
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let events = mmsb::obs::export::parse_chrome_trace(&text).expect("trace parses");
+    mmsb::obs::export::validate_trace(&events).expect("trace validates");
+    let names: std::collections::HashSet<&str> =
+        events.iter().map(|e| e.name.as_str()).collect();
+    for required in [
+        "step",
+        "draw_minibatch",
+        "update_phi",
+        "dkv_read",
+        "dkv_write",
+        "checkpoint",
+    ] {
+        assert!(names.contains(required), "trace has no {required:?} span");
+    }
+    // The virtual-timeline track (re-emitted breakdown) is present.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.ph == 'M' && e.tid == mmsb::obs::VIRTUAL_TID),
+        "virtual-cluster metadata track missing"
+    );
+
+    // ---- metrics: every phase histogram, dkv op, collective counted ----
+    let m = std::fs::read_to_string(&metrics).expect("metrics file written");
+    for field in [
+        "\"schema\": 2",
+        "\"kind\": \"obs_metrics\"",
+        "\"threads\": 4",
+        "\"host_cores\":",
+        "\"sampler_steps\": 10",
+        "\"checkpoints\": 2",
+        "\"dkv_read_batches\":",
+        "\"dkv_write_batches\":",
+        "\"comm_collectives\":",
+        "\"phase_draw_minibatch_ns\":",
+        "\"phase_update_phi_ns\":",
+        "\"phase_update_pi_ns\":",
+        "\"phase_update_beta_theta_ns\":",
+        "\"phase_perplexity_ns\":",
+        "\"dkv_read_ns\":",
+        "\"dkv_write_ns\":",
+        "\"comm_collective_ns\":",
+        "\"step_ns\":",
+        "\"spans\":",
+    ] {
+        assert!(m.contains(field), "metrics snapshot missing {field}:\n{m}");
+    }
+    // Phase histograms actually accumulated (counts are per-iteration).
+    assert!(
+        !m.contains("\"phase_update_phi_ns\": {\"count\": 0"),
+        "update_phi phase never recorded"
+    );
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
+}

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod collective;
+pub mod obs_bridge;
 
 mod clock;
 mod fault;

@@ -52,6 +52,7 @@ pub use retry::{AckOutcome, LossShim, ReliableLink, ReliableLinkIn, SendOutcome}
 pub use sync::{RealSync, SyncBackend};
 
 use crate::sync::real::{Arc, Ordering};
+use mmsb_obs::id as obs_id;
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -66,18 +67,28 @@ fn current_worker() -> Option<usize> {
     WORKER_ID.with(Cell::get)
 }
 
-/// Restores the previous worker id when a job scope ends (including by
-/// panic, so a caught panic cannot leave a stale id behind).
-struct IdGuard(Option<usize>);
+/// Restores the previous worker id (and obs span tid) when a job scope
+/// ends (including by panic, so a caught panic cannot leave a stale id
+/// behind).
+struct IdGuard {
+    prev: Option<usize>,
+    prev_tid: u64,
+}
 
 impl Drop for IdGuard {
     fn drop(&mut self) {
-        WORKER_ID.with(|id| id.set(self.0));
+        WORKER_ID.with(|id| id.set(self.prev));
+        mmsb_obs::spans::set_tid(self.prev_tid);
     }
 }
 
 fn enter_worker(worker: usize) -> IdGuard {
-    IdGuard(WORKER_ID.with(|id| id.replace(Some(worker))))
+    IdGuard {
+        prev: WORKER_ID.with(|id| id.replace(Some(worker))),
+        // Spans opened inside the job carry the worker id, so trace
+        // viewers group them per worker.
+        prev_tid: mmsb_obs::spans::set_tid(worker as u64),
+    }
 }
 
 /// A published job: an erased pointer to the caller's closure plus the
@@ -155,6 +166,7 @@ impl<S: SyncBackend> ThreadPoolIn<S> {
                 S::spawn(&format!("mmsb-pool-{id}"), move || worker_loop(&shared, id))
             })
             .collect();
+        mmsb_obs::gauge_set(obs_id::G_WORKERS, threads as u64);
         Self {
             shared,
             threads,
@@ -197,8 +209,11 @@ impl<S: SyncBackend> ThreadPoolIn<S> {
             }
             return;
         }
+        mmsb_obs::counter_add(obs_id::C_POOL_JOBS, 1);
+        let _job_span = mmsb_obs::span(obs_id::S_POOL_JOB);
         if self.threads == 1 {
             let _guard = enter_worker(0);
+            mmsb_obs::counter_add(obs_id::C_POOL_CHUNKS, n_chunks as u64);
             for chunk in 0..n_chunks {
                 f(0, chunk);
             }
@@ -311,12 +326,15 @@ fn claim_chunks<S: SyncBackend>(
     job: Job,
     worker: usize,
 ) -> Option<Box<dyn Any + Send>> {
+    let busy = mmsb_obs::metrics_on().then(mmsb_obs::clock::Stopwatch::start);
+    let mut claimed = 0u64;
     let mut panic = None;
     loop {
         let chunk = S::fetch_add(&shared.next_chunk, 1, Ordering::Relaxed);
         if chunk >= job.n_chunks {
             break;
         }
+        claimed += 1;
         // SAFETY: `job.data` points at the caller's closure, alive until
         // every worker drained; the trampoline was monomorphized for the
         // closure's exact type in `run`.
@@ -333,12 +351,19 @@ fn claim_chunks<S: SyncBackend>(
             S::store(&shared.next_chunk, job.n_chunks, Ordering::Relaxed);
         }
     }
+    if claimed > 0 {
+        mmsb_obs::counter_add(obs_id::C_POOL_CHUNKS, claimed);
+    }
+    if let Some(sw) = busy {
+        mmsb_obs::hist_record_ns(obs_id::H_POOL_BUSY_NS, sw.elapsed_ns());
+    }
     panic
 }
 
 fn worker_loop<S: SyncBackend>(shared: &Shared<S>, worker: usize) {
     let mut seen_epoch = 0u64;
     loop {
+        let idle = mmsb_obs::metrics_on().then(mmsb_obs::clock::Stopwatch::start);
         let job = {
             let mut st = S::lock(&shared.state);
             loop {
@@ -354,6 +379,9 @@ fn worker_loop<S: SyncBackend>(shared: &Shared<S>, worker: usize) {
                 st = S::wait(&shared.work_cv, st);
             }
         };
+        if let Some(sw) = idle {
+            mmsb_obs::hist_record_ns(obs_id::H_POOL_IDLE_NS, sw.elapsed_ns());
+        }
 
         let panic = {
             let _guard = enter_worker(worker);

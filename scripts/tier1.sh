@@ -35,6 +35,18 @@ cargo test -q --offline -p mmsb-core --test checkpoint_resume
 cargo test -q --offline -p mmsb-comm --test partial_failure
 cargo test -q --offline -p mmsb-check --test model_retry
 
+# Observability contracts: the obs unit suite (registry, clock, span
+# rings, exporters — including the chrome-trace emit → parse → validate
+# round-trip), the CLI round-trip (simulate --trace-out/--metrics-out
+# produces a parser-validated trace and a complete metrics snapshot),
+# and the overhead gate (a fully instrumented phi step must stay within
+# the noise bound of the obs-off step; --quick uses the generous CI
+# bound).
+cargo test -q --offline -p mmsb-obs
+cargo test -q --offline -p mmsb --test obs_cli
+repo="$PWD"
+(cd "$(mktemp -d)" && "$repo/target/release/bench_phi" --quick)
+
 # Complementary real-execution race check; skips cleanly when the
 # nightly TSan prerequisites are absent.
 bash scripts/sanitize.sh
