@@ -1,11 +1,21 @@
-//! Phi-update throughput across a thread sweep (1, 2, 4, 8), appended to
-//! `BENCH_phi.json` (one JSON line per configuration per run) so repeated
-//! runs accumulate a pool-scaling history.
+//! Phi-update throughput across a thread sweep (1, 2, 4, 8) and the
+//! kernel backends, appended to `BENCH_phi.json` (one JSON line per
+//! configuration per run) so repeated runs accumulate a pool-scaling
+//! history.
 //!
 //! The measured unit is one full sampler `step()` (mini-batch draw, all
 //! per-vertex phi updates, theta update); the dominant cost is the phi
 //! stage, and the derived `phi_updates_per_sec` figure counts the
-//! per-vertex updates actually performed.
+//! per-vertex updates actually performed. Every line uses the same
+//! `iters_per_sample` (steps per timed batch) in both full and `--quick`
+//! mode, and `samples > 1` timed batches feed a real median — so lines
+//! sharing an `id` are directly comparable across runs and modes.
+//!
+//! Backends: `phi_step/...` lines force the scalar kernels (the
+//! pre-SIMD baseline, comparable with the full history of this file);
+//! `phi_step_simd/backend=<b>/...` lines force the widest backend
+//! runtime detection finds. The `phi_simd_speedup/threads=1` line
+//! records the single-thread scalar-to-SIMD step speedup.
 
 use mmsb::prelude::*;
 use mmsb_bench::timing::{append_json, emit_obs_snapshot, fmt_ns, host_cores, Measurement, BENCH_SCHEMA};
@@ -30,32 +40,54 @@ fn build(quick: bool) -> (Graph, HeldOut) {
     HeldOut::split(&gen.graph, 500 / scale as usize, &mut rng)
 }
 
-/// Measure steady-state step throughput at `threads`, returning the
-/// measurement plus the phi-updates/sec rate.
-fn measure(g: &Graph, h: &HeldOut, threads: usize, quick: bool) -> (Measurement, f64) {
-    let cfg = SamplerConfig::new(32).with_seed(7);
+/// Steps per timed batch. Constant across full and `--quick` runs so
+/// every emitted line under one id has the same `iters_per_sample` and
+/// the history stays comparable (the committed file used to mix 10 and
+/// 60 under one id, which made cross-run medians meaningless).
+const STEPS_PER_SAMPLE: u64 = 10;
+
+/// Measure steady-state step throughput at `threads` on `backend`,
+/// returning the measurement plus the phi-updates/sec rate. Takes
+/// several timed batches and reports their median, so one descheduled
+/// batch cannot skew the recorded figure.
+fn measure(
+    g: &Graph,
+    h: &HeldOut,
+    threads: usize,
+    backend: Backend,
+    quick: bool,
+) -> (Measurement, f64) {
+    let cfg = SamplerConfig::new(32)
+        .with_seed(7)
+        .with_simd(SimdPolicy::Force(backend));
     let mut s = ParallelSampler::with_threads(g.clone(), h.clone(), cfg, threads).unwrap();
-    let (warmup, steps) = if quick { (5, 10) } else { (20, 60) };
+    let (warmup, samples) = if quick { (5, 3) } else { (20, 7) };
     s.run(warmup);
-    // Count the phi updates one steady-state step performs (batch sizing
-    // is deterministic given the seed, so one probe step is representative
-    // enough for a throughput figure).
-    let before = Instant::now();
-    s.run(steps);
-    let secs = before.elapsed().as_secs_f64();
-    let n = g.num_vertices() as f64;
-    let median_ns = secs * 1e9 / steps as f64;
+    let mut per_step: Vec<f64> = (0..samples)
+        .map(|_| {
+            let before = Instant::now();
+            s.run(STEPS_PER_SAMPLE);
+            before.elapsed().as_secs_f64() * 1e9 / STEPS_PER_SAMPLE as f64
+        })
+        .collect();
+    per_step.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = per_step[per_step.len() / 2];
+    let id = match backend {
+        Backend::Scalar => format!("phi_step/threads={threads}"),
+        b => format!("phi_step_simd/backend={b}/threads={threads}"),
+    };
     let m = Measurement {
-        id: format!("phi_step/threads={threads}"),
+        id,
         median_ns,
-        min_ns: median_ns,
-        samples: 1,
-        iters_per_sample: steps,
+        min_ns: per_step[0],
+        samples,
+        iters_per_sample: STEPS_PER_SAMPLE,
         threads,
     };
     // Stratified default: ~anchors strata per step; report per-vertex rate
     // relative to N as a stable cross-run figure.
-    let updates_per_sec = n * steps as f64 / secs;
+    let n = g.num_vertices() as f64;
+    let updates_per_sec = n * 1e9 / median_ns;
     (m, updates_per_sec)
 }
 
@@ -138,32 +170,62 @@ fn main() {
     // Sweep the pool sizes so scaling regressions show up in the history;
     // oversubscribing beyond the host's cores measures scheduler noise,
     // not the pool, so configurations above `max_threads` are skipped.
+    // The scalar backend is measured alongside the detected SIMD backend
+    // so the speedup is a same-run comparison (same host load, same
+    // graph), not a cross-run diff.
+    let simd = Backend::detect();
+    let backends: &[Backend] = if simd == Backend::Scalar {
+        &[Backend::Scalar]
+    } else {
+        &[Backend::Scalar, simd]
+    };
     let mut results = Vec::new();
-    let mut rates = Vec::new();
-    for threads in [1usize, 2, 4, 8] {
-        if threads > max_threads {
-            eprintln!("skipping threads={threads}: host has {max_threads} cores");
-            continue;
+    let mut single_thread_ns = Vec::new(); // (backend, median_ns) at threads=1
+    for &backend in backends {
+        let mut rates = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            if threads > max_threads {
+                eprintln!("skipping threads={threads}: host has {max_threads} cores");
+                continue;
+            }
+            let (m, rate) = measure(&g, &h, threads, backend, quick);
+            println!(
+                "{:<44} {:>14} /step   ({:.0} vertex-rate/s)",
+                m.id,
+                fmt_ns(m.median_ns),
+                rate
+            );
+            if threads == 1 {
+                single_thread_ns.push((backend, m.median_ns));
+            }
+            results.push(m);
+            rates.push((threads, rate));
         }
-        let (m, rate) = measure(&g, &h, threads, quick);
-        println!(
-            "{:<28} {:>14} /step   ({:.0} vertex-rate/s)",
-            m.id,
-            fmt_ns(m.median_ns),
-            rate
-        );
-        results.push(m);
-        rates.push((threads, rate));
-    }
-    for pair in rates.windows(2) {
-        println!(
-            "speedup {}t -> {}t: {:.2}x",
-            pair[0].0,
-            pair[1].0,
-            pair[1].1 / pair[0].1
-        );
+        for pair in rates.windows(2) {
+            println!(
+                "speedup {}t -> {}t: {:.2}x",
+                pair[0].0,
+                pair[1].0,
+                pair[1].1 / pair[0].1
+            );
+        }
     }
     append_json(out, "bench_phi", &results);
+    if let [(_, scalar_ns), (b, simd_ns)] = single_thread_ns[..] {
+        let speedup = scalar_ns / simd_ns;
+        println!("simd speedup ({b}, 1 thread): {speedup:.2}x over scalar");
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(out)
+            .expect("open BENCH_phi.json for append");
+        writeln!(
+            f,
+            "{{\"schema\":{BENCH_SCHEMA},\"suite\":\"bench_phi\",\"id\":\"phi_simd_speedup/threads=1\",\"backend\":\"{b}\",\"scalar_ns\":{scalar_ns:.1},\"simd_ns\":{simd_ns:.1},\"speedup\":{speedup:.3},\"threads\":1,\"host_cores\":{}}}",
+            host_cores()
+        )
+        .expect("append BENCH_phi.json");
+    }
     obs_overhead_gate(&g, &h, quick, out);
     // Leave metrics armed for one last instrumented burst so the snapshot
     // the run points at is populated.

@@ -14,8 +14,11 @@
 //!   are exempt — they declare no new obligation site.
 //! * **unsafe-allowlist** — `unsafe` may appear only in the modules
 //!   whose invariants are documented and model-checked:
-//!   `crates/pool/src`, `crates/dkv/src`, `crates/core/src/sampler/
-//!   driver.rs`, `crates/core/tests/zero_alloc.rs`, and the checker's
+//!   `crates/pool/src`, `crates/dkv/src`, `crates/simd/src` (the SIMD
+//!   kernel layer: intrinsic calls behind proof tokens and
+//!   detection-guarded `#[target_feature]` shims),
+//!   `crates/core/src/sampler/driver.rs`,
+//!   `crates/core/tests/zero_alloc.rs`, and the checker's
 //!   own model backend + protocol-port tests (`crates/check/src/model`,
 //!   `crates/check/tests` — they exercise the unsafe publish contract
 //!   under the model scheduler).
@@ -39,6 +42,11 @@
 //!   so instrumentation shares one anchor, the off level provably never
 //!   touches the clock, and the virtual-time simulation never silently
 //!   mixes in wall-clock reads.
+//! * **arch-confinement** — `core::arch` / `std::arch` (intrinsics,
+//!   feature detection) may be named only under `crates/simd`. All
+//!   other crates consume SIMD through `mmsb-simd`'s safe dispatchers,
+//!   which is what keeps every intrinsic behind one crate's proof-token
+//!   safety model and its bitwise-parity tests.
 
 use std::fmt;
 use std::fs;
@@ -52,6 +60,7 @@ const FORBID_CRATES: &[&str] = &["rand", "graph", "svi", "comm", "netsim", "benc
 const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/pool/src",
     "crates/dkv/src",
+    "crates/simd/src",
     "crates/core/src/sampler/driver.rs",
     "crates/core/tests/zero_alloc.rs",
     "crates/check/src/model",
@@ -65,6 +74,9 @@ const SYNC_MODULE: &str = "crates/pool/src/sync";
 /// Path prefixes where the wall clock may be named directly. Everyone
 /// else goes through `mmsb_obs::clock`.
 const TIME_ALLOWED: &[&str] = &["crates/obs", "crates/bench"];
+/// Path prefix where `core::arch` / `std::arch` may be named. Everyone
+/// else consumes SIMD through `mmsb-simd`'s safe dispatchers.
+const ARCH_ALLOWED: &str = "crates/simd";
 /// Clock-type tokens the time-confinement rule forbids elsewhere.
 const TIME_TOKENS: &[&str] = &["Instant", "SystemTime"];
 
@@ -285,8 +297,9 @@ fn in_allowlist(rel: &str) -> bool {
     UNSAFE_ALLOWLIST.iter().any(|p| rel.starts_with(p))
 }
 
-/// Per-file rules: safety-comment, unsafe-allowlist,
-/// std-sync-confinement. `rel` is the repo-relative `/`-separated path.
+/// Per-file rules: safety-comment, unsafe-allowlist, time-confinement,
+/// arch-confinement, std-sync-confinement. `rel` is the repo-relative
+/// `/`-separated path.
 pub fn lint_file(rel: &str, src: &str) -> Vec<Violation> {
     let mut out = Vec::new();
     let toks = lex(src);
@@ -345,6 +358,28 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Violation> {
                          through `mmsb_obs::clock` (Stopwatch / now_ns) so the shared \
                          anchor and the obs off-level guarantees hold",
                         t.text
+                    ),
+                });
+            }
+        }
+    }
+
+    if !rel.starts_with(ARCH_ALLOWED) {
+        for w in toks.windows(4) {
+            if (w[0].text == "core" || w[0].text == "std")
+                && w[1].text == ":"
+                && w[2].text == ":"
+                && w[3].text == "arch"
+            {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: w[0].line,
+                    rule: "arch-confinement",
+                    message: format!(
+                        "`{}::arch` named outside crates/simd; call intrinsics through \
+                         `mmsb_simd`'s safe dispatchers so every unsafe lane operation \
+                         stays behind the proof-token model and its parity tests",
+                        w[0].text
                     ),
                 });
             }
@@ -575,6 +610,40 @@ fn real() { }
         // Comments and strings never trip the token rule.
         let masked = "// Instant\nlet s = \"SystemTime\";";
         assert!(lint_file("crates/graph/src/lib.rs", masked).is_empty());
+    }
+
+    #[test]
+    fn arch_confinement() {
+        let uses = "use core::arch::x86_64::*;";
+        let vs = lint_file("crates/core/src/kernels/phi.rs", uses);
+        assert!(vs.iter().any(|v| v.rule == "arch-confinement"), "{vs:?}");
+        let detect = "if std::arch::is_x86_feature_detected!(\"avx2\") {}";
+        let vs = lint_file("crates/bench/src/bin/bench_phi.rs", detect);
+        assert!(vs.iter().any(|v| v.rule == "arch-confinement"), "{vs:?}");
+        // The SIMD crate is the one sanctioned home — src and tests alike.
+        assert!(lint_file("crates/simd/src/x86.rs", uses).is_empty());
+        assert!(lint_file("crates/simd/tests/parity.rs", detect).is_empty());
+        // Comments and strings never trip the token rule.
+        let masked = "// core::arch\nlet s = \"std::arch\";";
+        assert!(lint_file("crates/graph/src/lib.rs", masked).is_empty());
+    }
+
+    #[test]
+    fn simd_crate_is_allowlisted_but_still_needs_safety_comments() {
+        // `unsafe` inside crates/simd passes the allowlist gate, but a
+        // missing SAFETY comment must still fail the build there.
+        let bare = "fn f() { unsafe { g() } }";
+        let vs = lint_file("crates/simd/src/x86.rs", bare);
+        assert!(
+            !vs.iter().any(|v| v.rule == "unsafe-allowlist"),
+            "crates/simd/src should be allowlisted: {vs:?}"
+        );
+        assert!(vs.iter().any(|v| v.rule == "safety-comment"), "{vs:?}");
+        let good = "fn f() {\n    // SAFETY: token proves the feature is present.\n    unsafe { g() }\n}";
+        assert!(lint_file("crates/simd/src/x86.rs", good).is_empty());
+        // Outside the crate the allowlist still bites.
+        let vs = lint_file("crates/core/src/workspace.rs", good);
+        assert!(vs.iter().any(|v| v.rule == "unsafe-allowlist"), "{vs:?}");
     }
 
     #[test]

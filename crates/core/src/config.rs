@@ -2,6 +2,7 @@
 
 use crate::CoreError;
 use mmsb_graph::minibatch::Strategy;
+use mmsb_simd::{Backend, SimdPolicy};
 
 /// The SGRLD step-size schedule `eps_t = a * (1 + t/b)^(-c)`.
 ///
@@ -83,6 +84,16 @@ pub struct SamplerConfig {
     pub seed: u64,
     /// State layout.
     pub layout: StateLayout,
+    /// Kernel backend selection for the phi/theta hot path.
+    ///
+    /// `Auto` (the default) picks the widest SIMD backend the host
+    /// supports; `Force(Backend::Scalar)` routes every kernel through
+    /// the legacy scalar code, reproducing pre-SIMD chains bit for bit.
+    /// Chains are bitwise-reproducible per backend (same backend, seed,
+    /// and thread count ⇒ identical bytes), but different backends
+    /// round differently in the last ulps — force one for cross-host
+    /// reproducibility.
+    pub simd: SimdPolicy,
 }
 
 impl SamplerConfig {
@@ -103,6 +114,7 @@ impl SamplerConfig {
             neighbor_sample: 32,
             seed: 42,
             layout: StateLayout::PiSumPhi,
+            simd: SimdPolicy::Auto,
         }
     }
 
@@ -136,6 +148,21 @@ impl SamplerConfig {
         self
     }
 
+    /// Set the SIMD backend policy.
+    pub fn with_simd(mut self, simd: SimdPolicy) -> Self {
+        self.simd = simd;
+        self
+    }
+
+    /// The concrete kernel backend this configuration resolves to.
+    ///
+    /// [`Self::validate`] guarantees resolution succeeds for any config
+    /// a sampler accepts; on an unvalidated config with an impossible
+    /// forced backend this falls back to scalar rather than panicking.
+    pub fn backend(&self) -> Backend {
+        self.simd.resolve().unwrap_or(Backend::Scalar)
+    }
+
     /// Set `delta`.
     pub fn with_delta(mut self, delta: f64) -> Self {
         self.delta = delta;
@@ -165,6 +192,11 @@ impl SamplerConfig {
             });
         }
         self.step.validate()?;
+        self.simd
+            .resolve()
+            .map_err(|e| CoreError::InvalidConfig {
+                reason: e.to_string(),
+            })?;
         if num_vertices < 2 {
             return Err(CoreError::GraphTooSmall {
                 reason: format!("{num_vertices} vertices"),
@@ -250,10 +282,43 @@ mod tests {
             .with_seed(9)
             .with_neighbor_sample(16)
             .with_layout(StateLayout::FullPhi)
-            .with_delta(0.001);
+            .with_delta(0.001)
+            .with_simd(SimdPolicy::Force(Backend::Scalar));
         assert_eq!(c.seed, 9);
         assert_eq!(c.neighbor_sample, 16);
         assert_eq!(c.layout, StateLayout::FullPhi);
         assert_eq!(c.delta, 0.001);
+        assert_eq!(c.simd, SimdPolicy::Force(Backend::Scalar));
+        assert_eq!(c.backend(), Backend::Scalar);
+    }
+
+    #[test]
+    fn simd_policy_validates_against_host() {
+        // Auto and forced-scalar always validate; a backend foreign to
+        // this architecture must be rejected with its name in the error.
+        assert!(SamplerConfig::new(4).validate(100).is_ok());
+        assert!(SamplerConfig::new(4)
+            .with_simd(SimdPolicy::Force(Backend::Scalar))
+            .validate(100)
+            .is_ok());
+        #[cfg(target_arch = "x86_64")]
+        let foreign = Backend::Neon;
+        #[cfg(not(target_arch = "x86_64"))]
+        let foreign = Backend::Avx2;
+        let err = SamplerConfig::new(4)
+            .with_simd(SimdPolicy::Force(foreign))
+            .validate(100)
+            .unwrap_err();
+        assert!(err.to_string().contains(foreign.name()), "{err}");
+    }
+
+    #[test]
+    fn unvalidated_backend_falls_back_to_scalar() {
+        #[cfg(target_arch = "x86_64")]
+        let foreign = Backend::Neon;
+        #[cfg(not(target_arch = "x86_64"))]
+        let foreign = Backend::Avx2;
+        let c = SamplerConfig::new(4).with_simd(SimdPolicy::Force(foreign));
+        assert_eq!(c.backend(), Backend::Scalar);
     }
 }

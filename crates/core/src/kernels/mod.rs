@@ -47,6 +47,19 @@ impl<'a> RowView<'a> {
     pub fn row(&self, i: usize) -> &'a [f32] {
         &self.data[i * self.stride..(i + 1) * self.stride]
     }
+
+    /// The underlying flat buffer (rows of [`Self::stride`] floats) —
+    /// the layout the strided SIMD kernels consume directly.
+    #[inline]
+    pub fn flat(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// Length of each row in the flat buffer.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
 }
 
 #[cfg(test)]

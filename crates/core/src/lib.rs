@@ -81,6 +81,10 @@ pub use sampler::sequential::SequentialSampler;
 pub use sampler::threaded::{train_threaded, ThreadedOutcome};
 pub use state::{ModelState, PHI_MIN};
 
+// Re-exported so downstream crates (CLI, benches) can name the kernel
+// backend selection without depending on `mmsb-simd` directly.
+pub use mmsb_simd::{Backend, PolicyError, SimdPolicy};
+
 /// Errors from sampler construction and execution.
 #[derive(Debug)]
 pub enum CoreError {

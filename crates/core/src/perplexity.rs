@@ -106,6 +106,34 @@ impl PerplexityAccumulator {
         }
         Some((-log_sum / self.prob_sums.len() as f64).exp())
     }
+
+    /// [`Self::value`] with the per-pair log taken by the vectorized
+    /// `mmsb-simd` log on `backend` (`Scalar` delegates to [`Self::value`],
+    /// keeping legacy chains bit-identical). Each log is within the
+    /// documented ulp bound of `f64::ln`, so the metric agrees with the
+    /// scalar form to ~1e-15 relative. `scratch` must hold at least
+    /// `2 * num_pairs` slots; it is pure scratch, letting hot loops avoid
+    /// per-call allocation.
+    pub fn value_with(&self, backend: mmsb_simd::Backend, scratch: &mut [f64]) -> Option<f64> {
+        if backend == mmsb_simd::Backend::Scalar {
+            return self.value();
+        }
+        if self.samples == 0 || self.prob_sums.is_empty() {
+            return None;
+        }
+        let n = self.prob_sums.len();
+        assert!(scratch.len() >= 2 * n, "scratch needs 2 slots per pair");
+        let t = self.samples as f64;
+        let (ratios, logs) = scratch[..2 * n].split_at_mut(n);
+        for (r, &s) in ratios.iter_mut().zip(&self.prob_sums) {
+            // Same clamp as the scalar path: no pair may poison the
+            // metric with -inf.
+            *r = (s / t).max(1e-300);
+        }
+        mmsb_simd::vln(backend, ratios, logs);
+        let log_sum: f64 = logs.iter().sum();
+        Some((-log_sum / n as f64).exp())
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +210,37 @@ mod tests {
     #[should_panic(expected = "bad probability")]
     fn record_invalid_probability_panics() {
         PerplexityAccumulator::new(1).record(&[1.5]);
+    }
+
+    #[test]
+    fn value_with_matches_scalar_value() {
+        let mut acc = PerplexityAccumulator::new(64);
+        let probs: Vec<f64> = (0..64).map(|i| 0.01 + 0.98 * (i as f64) / 63.0).collect();
+        acc.record(&probs);
+        acc.record(&probs.iter().map(|p| 1.0 - p * 0.5).collect::<Vec<_>>());
+        let scalar = acc.value().unwrap();
+        let mut scratch = vec![0.0; 128];
+        for b in [
+            mmsb_simd::Backend::Scalar,
+            mmsb_simd::Backend::Sse2,
+            mmsb_simd::Backend::Avx2,
+            mmsb_simd::Backend::Neon,
+        ] {
+            if !b.available() {
+                continue;
+            }
+            let got = acc.value_with(b, &mut scratch).unwrap();
+            assert!(
+                (got - scalar).abs() <= 1e-12 * scalar,
+                "{b}: {got} vs {scalar}"
+            );
+        }
+        // Scalar delegation is exact.
+        assert_eq!(
+            acc.value_with(mmsb_simd::Backend::Scalar, &mut scratch)
+                .unwrap(),
+            scalar
+        );
     }
 
     #[test]

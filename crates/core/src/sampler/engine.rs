@@ -12,7 +12,9 @@ use mmsb_graph::minibatch::{BatchKind, MiniBatch, MinibatchSampler, Strategy};
 use mmsb_graph::heldout::HeldOut;
 use mmsb_graph::neighbor::NeighborSampler;
 use mmsb_graph::{Graph, VertexId};
+use mmsb_rand::dist::Normal;
 use mmsb_rand::Xoshiro256PlusPlus;
+use mmsb_simd::Backend;
 
 /// Pairs per theta-gradient chunk. One chunk accumulates its pairs
 /// serially (matching the historical serial sum for batches that fit in a
@@ -36,6 +38,13 @@ pub(crate) struct Engine {
     pub minibatch: MinibatchSampler,
     pub neighbors: NeighborSampler,
     pub perplexity: PerplexityAccumulator,
+    /// Kernel backend resolved from [`SamplerConfig::simd`] at
+    /// construction. `Scalar` routes through the legacy kernels
+    /// (bitwise-identical to pre-SIMD chains); everything else runs the
+    /// `mmsb-simd` kernels under their per-backend numeric contract.
+    pub backend: Backend,
+    /// Scratch for the SIMD perplexity log (2 x held-out pairs).
+    perp_scratch: Vec<f64>,
     pub iteration: u64,
     /// Current mini-batch, reused across iterations by
     /// [`Engine::refresh_minibatch`] so the steady state never allocates.
@@ -78,6 +87,8 @@ impl Engine {
             minibatch: MinibatchSampler::new(config.minibatch),
             neighbors: NeighborSampler::new(graph.num_vertices(), config.neighbor_sample),
             perplexity: PerplexityAccumulator::new(heldout.len()),
+            backend: config.backend(),
+            perp_scratch: vec![0.0; 2 * heldout.len()],
             graph,
             heldout,
             config,
@@ -119,6 +130,7 @@ impl Engine {
         }
         self.config.validate(graph.num_vertices())?;
         self.perplexity = PerplexityAccumulator::new(heldout.len());
+        self.perp_scratch = vec![0.0; 2 * heldout.len()];
         self.graph = graph;
         self.heldout = heldout;
         Ok(())
@@ -185,16 +197,56 @@ impl Engine {
             eps: self.eps(),
             grad_scale: self.graph.num_vertices() as f64 / nn.max(1) as f64,
         };
-        update_phi_row(
-            &ws.phi_a,
-            self.state.beta(),
-            &crate::kernels::RowView::new(&ws.rows, k),
-            &ws.linked,
-            &params,
-            &mut rng,
-            &mut ws.f,
-            out,
-        );
+        if self.backend == Backend::Scalar {
+            update_phi_row(
+                &ws.phi_a,
+                self.state.beta(),
+                &crate::kernels::RowView::new(&ws.rows, k),
+                &ws.linked,
+                &params,
+                &mut rng,
+                &mut ws.f,
+                out,
+            );
+        } else {
+            // SIMD path: same gradient-then-noise order as the scalar
+            // kernel — the K accepted polar pairs are drawn in
+            // coordinate order, so the per-vertex RNG stream is
+            // consumed identically; the transcendental finish then runs
+            // vectorized over the whole batch.
+            mmsb_simd::phi_gradient(
+                self.backend,
+                &ws.phi_a,
+                self.state.beta(),
+                &ws.rows,
+                k,
+                &ws.linked,
+                params.delta,
+                &mut ws.phi_scratch,
+                out,
+            );
+            ws.noise_u.clear();
+            ws.noise_s.clear();
+            for _ in 0..k {
+                let (u, s) = Normal::standard_accept(&mut rng);
+                ws.noise_u.push(u);
+                ws.noise_s.push(s);
+            }
+            ws.noise.clear();
+            ws.noise.resize(k, 0.0);
+            mmsb_simd::polar_normal(self.backend, &ws.noise_u, &ws.noise_s, &mut ws.noise);
+            mmsb_simd::sgrld_step(
+                self.backend,
+                &ws.phi_a,
+                &ws.noise,
+                params.alpha,
+                0.5 * params.eps,
+                params.grad_scale,
+                params.eps.sqrt(),
+                crate::state::PHI_MIN,
+                out,
+            );
+        }
     }
 
     /// Distributed variant of [`Engine::compute_phi_update`]: the vertex's
@@ -220,6 +272,7 @@ impl Engine {
                 alpha: self.config.alpha,
                 delta: self.config.delta,
                 eps: self.eps(),
+                backend: self.backend,
             },
             self.state.beta(),
             a,
@@ -263,21 +316,42 @@ impl Engine {
     /// fixed multiples of `THETA_CHUNK`, so the result depends only on the
     /// batch, never on thread count.
     pub fn theta_gradient_chunk(&self, chunk: usize, ws: &mut Workspace, out: &mut [f64]) {
-        out.fill(0.0);
         let lo = chunk * THETA_CHUNK;
         let hi = ((chunk + 1) * THETA_CHUNK).min(self.mb.pairs.len());
-        for (&(e, y), &w) in self.mb.pairs[lo..hi].iter().zip(&self.mb.weights[lo..hi]) {
-            theta_gradient_pair(
-                self.state.pi_row(e.lo().0),
-                self.state.pi_row(e.hi().0),
-                y,
-                w,
+        let pairs = self.mb.pairs[lo..hi].iter().zip(&self.mb.weights[lo..hi]);
+        if self.backend == Backend::Scalar {
+            out.fill(0.0);
+            for (&(e, y), &w) in pairs {
+                theta_gradient_pair(
+                    self.state.pi_row(e.lo().0),
+                    self.state.pi_row(e.hi().0),
+                    y,
+                    w,
+                    self.state.beta(),
+                    self.state.theta(),
+                    self.config.delta,
+                    &mut ws.grad,
+                    out,
+                );
+            }
+        } else {
+            mmsb_simd::theta_chunk_begin(
                 self.state.beta(),
                 self.state.theta(),
                 self.config.delta,
-                &mut ws.grad,
-                out,
+                &mut ws.theta_scratch,
             );
+            for (&(e, y), &w) in pairs {
+                mmsb_simd::theta_accumulate_pair(
+                    self.backend,
+                    &mut ws.theta_scratch,
+                    self.state.pi_row(e.lo().0),
+                    self.state.pi_row(e.hi().0),
+                    y,
+                    w,
+                );
+            }
+            mmsb_simd::theta_chunk_finish(&ws.theta_scratch, out);
         }
     }
 
@@ -290,20 +364,41 @@ impl Engine {
         weights: &[f64],
     ) -> Vec<f64> {
         assert_eq!(pairs.len(), weights.len(), "weights must align with pairs");
-        let mut f_diag = vec![0.0f64; self.config.k];
         let mut grad = vec![0.0f64; 2 * self.config.k];
-        for (&(e, y), &w) in pairs.iter().zip(weights) {
-            theta_gradient_pair(
-                self.state.pi_row(e.lo().0),
-                self.state.pi_row(e.hi().0),
-                y,
-                w,
+        if self.backend == Backend::Scalar {
+            let mut f_diag = vec![0.0f64; self.config.k];
+            for (&(e, y), &w) in pairs.iter().zip(weights) {
+                theta_gradient_pair(
+                    self.state.pi_row(e.lo().0),
+                    self.state.pi_row(e.hi().0),
+                    y,
+                    w,
+                    self.state.beta(),
+                    self.state.theta(),
+                    self.config.delta,
+                    &mut f_diag,
+                    &mut grad,
+                );
+            }
+        } else {
+            let mut scratch = mmsb_simd::ThetaScratch::new(self.config.k);
+            mmsb_simd::theta_chunk_begin(
                 self.state.beta(),
                 self.state.theta(),
                 self.config.delta,
-                &mut f_diag,
-                &mut grad,
+                &mut scratch,
             );
+            for (&(e, y), &w) in pairs.iter().zip(weights) {
+                mmsb_simd::theta_accumulate_pair(
+                    self.backend,
+                    &mut scratch,
+                    self.state.pi_row(e.lo().0),
+                    self.state.pi_row(e.hi().0),
+                    y,
+                    w,
+                );
+            }
+            mmsb_simd::theta_chunk_finish(&scratch, &mut grad);
         }
         grad
     }
@@ -353,7 +448,7 @@ impl Engine {
     pub fn record_perplexity_sample(&mut self, probs: &[f64]) -> f64 {
         self.perplexity.record(probs);
         self.perplexity
-            .value()
+            .value_with(self.backend, &mut self.perp_scratch)
             .expect("record() guarantees at least one sample")
     }
 
@@ -370,6 +465,7 @@ pub(crate) struct WorkerParams {
     pub alpha: f64,
     pub delta: f64,
     pub eps: f64,
+    pub backend: Backend,
 }
 
 /// Worker-side `phi` update from DKV rows — shared by the lockstep and
@@ -397,18 +493,56 @@ pub(crate) fn phi_update_from_dkv_rows(
         eps: params.eps,
         grad_scale: params.n as f64 / linked.len().max(1) as f64,
     };
-    let mut f = vec![0.0f64; 2 * k];
     let mut out = vec![0.0f64; k];
-    update_phi_row(
-        &phi_a,
-        beta,
-        neighbor_rows,
-        linked,
-        &kernel_params,
-        rng,
-        &mut f,
-        &mut out,
-    );
+    if params.backend == Backend::Scalar {
+        let mut f = vec![0.0f64; 2 * k];
+        update_phi_row(
+            &phi_a,
+            beta,
+            neighbor_rows,
+            linked,
+            &kernel_params,
+            rng,
+            &mut f,
+            &mut out,
+        );
+    } else {
+        // The strided SIMD kernel reads K floats per DKV row directly
+        // (stride `k + 1`), so the numbers — and the coordinate-order
+        // noise draws — match the local in-memory variant exactly.
+        let mut scratch = mmsb_simd::PhiScratch::new(k);
+        mmsb_simd::phi_gradient(
+            params.backend,
+            &phi_a,
+            beta,
+            neighbor_rows.flat(),
+            neighbor_rows.stride(),
+            linked,
+            kernel_params.delta,
+            &mut scratch,
+            &mut out,
+        );
+        let mut noise_u = Vec::with_capacity(k);
+        let mut noise_s = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (u, s) = Normal::standard_accept(rng);
+            noise_u.push(u);
+            noise_s.push(s);
+        }
+        let mut noise = vec![0.0; k];
+        mmsb_simd::polar_normal(params.backend, &noise_u, &noise_s, &mut noise);
+        mmsb_simd::sgrld_step(
+            params.backend,
+            &phi_a,
+            &noise,
+            kernel_params.alpha,
+            0.5 * kernel_params.eps,
+            kernel_params.grad_scale,
+            kernel_params.eps.sqrt(),
+            crate::state::PHI_MIN,
+            &mut out,
+        );
+    }
     (a, out)
 }
 

@@ -266,6 +266,7 @@ fn worker_loop(
             alpha: config.alpha,
             delta: config.delta,
             eps: config.step.at(t),
+            backend: config.backend(),
         };
 
         // ---- update_phi: one-sided chunked reads, local compute ----
@@ -352,26 +353,48 @@ fn worker_loop(
 
         // ---- update_beta_theta: local gradient, global reduce ----
         let mut grad = vec![0.0f64; 2 * k];
-        let mut f_diag = vec![0.0f64; k];
         {
             let store = store.read().expect("store lock poisoned");
             let mut row_a = vec![0.0f32; row_len];
             let mut row_b = vec![0.0f32; row_len];
-            for (chunk, &weight) in pair_words.chunks_exact(3).zip(weights.iter()) {
-                let (lo, hi, y) = (chunk[0], chunk[1], chunk[2] != 0);
-                store.read_batch(&[lo], &mut row_a)?;
-                store.read_batch(&[hi], &mut row_b)?;
-                theta_gradient_pair(
-                    &row_a[..k],
-                    &row_b[..k],
-                    y,
-                    weight,
-                    &beta,
-                    &theta,
-                    config.delta,
-                    &mut f_diag,
-                    &mut grad,
-                );
+            if params.backend == mmsb_simd::Backend::Scalar {
+                let mut f_diag = vec![0.0f64; k];
+                for (chunk, &weight) in pair_words.chunks_exact(3).zip(weights.iter()) {
+                    let (lo, hi, y) = (chunk[0], chunk[1], chunk[2] != 0);
+                    store.read_batch(&[lo], &mut row_a)?;
+                    store.read_batch(&[hi], &mut row_b)?;
+                    theta_gradient_pair(
+                        &row_a[..k],
+                        &row_b[..k],
+                        y,
+                        weight,
+                        &beta,
+                        &theta,
+                        config.delta,
+                        &mut f_diag,
+                        &mut grad,
+                    );
+                }
+            } else {
+                // Same begin/accumulate/finish sequence as the lockstep
+                // driver's `theta_gradient_slice`, so both drivers produce
+                // identical bytes under any backend.
+                let mut scratch = mmsb_simd::ThetaScratch::new(k);
+                mmsb_simd::theta_chunk_begin(&beta, &theta, config.delta, &mut scratch);
+                for (chunk, &weight) in pair_words.chunks_exact(3).zip(weights.iter()) {
+                    let (lo, hi, y) = (chunk[0], chunk[1], chunk[2] != 0);
+                    store.read_batch(&[lo], &mut row_a)?;
+                    store.read_batch(&[hi], &mut row_b)?;
+                    mmsb_simd::theta_accumulate_pair(
+                        params.backend,
+                        &mut scratch,
+                        &row_a[..k],
+                        &row_b[..k],
+                        y,
+                        weight,
+                    );
+                }
+                mmsb_simd::theta_chunk_finish(&scratch, &mut grad);
             }
         }
         collectives::reduce_sum_f64(&ep, 0, &grad).map_err(comm_error)?;

@@ -7,6 +7,7 @@
 //! dynamic chunk-to-worker assignment cannot perturb the chain.
 
 use mmsb_graph::{FxHashSet, VertexId};
+use mmsb_simd::{PhiScratch, ThetaScratch};
 
 /// Reusable scratch for one worker thread.
 pub(crate) struct Workspace {
@@ -20,6 +21,18 @@ pub(crate) struct Workspace {
     pub grad: Vec<f64>,
     /// Ping-pong `f` scratch of the phi kernel (`2K` f64s).
     pub f: Vec<f64>,
+    /// Pre-drawn standard-normal variates for the SIMD SGRLD step
+    /// (`K` f64s, drawn in coordinate order).
+    pub noise: Vec<f64>,
+    /// Accepted polar `u` components feeding the vectorized normal
+    /// finish (`K` f64s, coordinate order).
+    pub noise_u: Vec<f64>,
+    /// Accepted polar `s = u² + v²` components paired with `noise_u`.
+    pub noise_s: Vec<f64>,
+    /// Plane scratch of the SIMD phi-gradient kernel.
+    pub phi_scratch: PhiScratch,
+    /// Context + accumulator planes of the SIMD theta kernel.
+    pub theta_scratch: ThetaScratch,
     /// Sampled neighbor set.
     pub neighbors: Vec<VertexId>,
     /// Dedup set for neighbor rejection sampling.
@@ -40,6 +53,11 @@ impl Workspace {
             linked: Vec::with_capacity(neighbor_sample),
             grad: vec![0.0; k],
             f: vec![0.0; 2 * k],
+            noise: Vec::with_capacity(k),
+            noise_u: Vec::with_capacity(k),
+            noise_s: Vec::with_capacity(k),
+            phi_scratch: PhiScratch::new(k),
+            theta_scratch: ThetaScratch::new(k),
             neighbors: Vec::with_capacity(neighbor_sample),
             seen,
         }

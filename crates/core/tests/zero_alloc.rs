@@ -17,7 +17,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use mmsb_core::{ParallelSampler, SamplerConfig};
+use mmsb_core::{Backend, ParallelSampler, SamplerConfig, SimdPolicy};
 use mmsb_dkv::pipeline::{PrefetchingReader, ReaderScratch};
 use mmsb_dkv::{DkvStore, Partition, ShardedStore};
 use mmsb_graph::generate::planted::{generate_planted, PlantedConfig};
@@ -101,23 +101,37 @@ fn steady_state_step_is_allocation_free() {
 
     // The default config uses stratified-node mini-batches, the strategy
     // the zero-allocation contract covers (random-pair dedup keeps a
-    // rebuild-per-draw hash set and is exempt).
-    let config = SamplerConfig::new(8).with_seed(7);
-    let mut sampler = ParallelSampler::with_threads(graph, heldout, config, 3).unwrap();
+    // rebuild-per-draw hash set and is exempt). Both kernel backends must
+    // uphold the contract: the scalar path uses the legacy kernels, the
+    // SIMD path additionally exercises the pre-reserved `PhiScratch` /
+    // `ThetaScratch` planes and the pre-drawn noise buffer in
+    // `Workspace` — forcing the widest detected backend pins that even on
+    // hosts where `Auto` would pick it anyway.
+    let backends = [Backend::Scalar, Backend::detect()];
+    for (i, &backend) in backends.iter().enumerate() {
+        if i > 0 && backend == Backend::Scalar {
+            continue; // no SIMD on this host; the scalar pass covered it
+        }
+        let config = SamplerConfig::new(8)
+            .with_seed(7)
+            .with_simd(SimdPolicy::Force(backend));
+        let mut sampler =
+            ParallelSampler::with_threads(graph.clone(), heldout.clone(), config, 3).unwrap();
 
-    // Warm up: first iterations may still grow lazily-reserved buffers
-    // (e.g. the strata vector on its first stratified draw).
-    sampler.run(60);
+        // Warm up: first iterations may still grow lazily-reserved buffers
+        // (e.g. the strata vector on its first stratified draw).
+        sampler.run(60);
 
-    COUNTING.store(true, Ordering::SeqCst);
-    sampler.run(40);
-    COUNTING.store(false, Ordering::SeqCst);
+        COUNTING.store(true, Ordering::SeqCst);
+        sampler.run(40);
+        COUNTING.store(false, Ordering::SeqCst);
 
-    let n = ALLOCS.load(Ordering::SeqCst);
-    assert_eq!(
-        n, 0,
-        "steady-state step() hit the allocator {n} times over 40 iterations"
-    );
+        let n = ALLOCS.swap(0, Ordering::SeqCst);
+        assert_eq!(
+            n, 0,
+            "steady-state step() on {backend} hit the allocator {n} times over 40 iterations"
+        );
+    }
 
     // ---- pipelined path: a warmed PrefetchingReader pass ----
     // The real double-buffered loader must also be allocation-free once

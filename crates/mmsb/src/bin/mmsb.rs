@@ -64,6 +64,18 @@ fn usage() -> String {
         .to_string()
 }
 
+/// Parse `--simd`, validating the choice against the running CPU up
+/// front so a forced-but-unavailable backend fails with the kernel
+/// layer's own message instead of a sampler construction error later.
+fn simd_from_args(args: &Args) -> Result<SimdPolicy, String> {
+    let policy: SimdPolicy = match args.get("simd") {
+        None => SimdPolicy::Auto,
+        Some(v) => v.parse()?,
+    };
+    policy.resolve().map_err(|e| e.to_string())?;
+    Ok(policy)
+}
+
 /// Where the observability flags said to write exports at exit.
 struct ObsOutputs {
     metrics_out: Option<String>,
@@ -221,6 +233,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
              [--k K] [--iters N] [--driver sequential|parallel|threaded] \
              [--workers R] [--pipeline on|off] [--eval-every N] \
              [--heldout L] [--seed S] [--threshold T] [--out FILE] \
+             [--simd auto|scalar|sse2|avx2|neon] \
              [--obs-level off|metrics|spans] [--metrics-out FILE] [--trace-out FILE]"
         );
         return Ok(());
@@ -248,14 +261,18 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         other => return Err(format!("--pipeline expects on/off, got {other:?}")),
     };
 
+    let simd = simd_from_args(args)?;
+
     let num_vertices = graph.num_vertices();
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed ^ 0x5EED);
     let (train, heldout) = HeldOut::split(&graph, heldout_links, &mut rng);
-    let config = SamplerConfig::new(k).with_seed(seed);
+    let config = SamplerConfig::new(k).with_seed(seed).with_simd(simd);
     println!(
-        "training on {} vertices / {} edges, K = {k}, {iters} iterations, driver = {driver}",
+        "training on {} vertices / {} edges, K = {k}, {iters} iterations, \
+         driver = {driver}, simd = {}",
         train.num_vertices(),
-        train.num_edges()
+        train.num_edges(),
+        config.backend()
     );
 
     // Train with the chosen driver; collect the final state plus the
@@ -348,6 +365,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             "mmsb simulate [--workers R] [--k K] [--iters N] [--pipeline on|off] \
              [--faults SEED] [--kill ITER:RANK] [--checkpoint-every N] \
              [--checkpoint FILE] [--resume FILE] [generator flags] \
+             [--simd auto|scalar|sse2|avx2|neon] \
              [--obs-level off|metrics|spans] [--metrics-out FILE] [--trace-out FILE]"
         );
         return Ok(());
@@ -386,11 +404,13 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     }
     let checkpoint_every: u64 = args.parsed("checkpoint-every", 0)?;
 
+    let simd = simd_from_args(args)?;
     let generated = generated_from_args(args)?;
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed ^ 0x5EED);
     let links = (generated.graph.num_edges() / 50).max(16) as usize;
     let (train, heldout) = HeldOut::split(&generated.graph, links, &mut rng);
-    let config = SamplerConfig::new(k).with_seed(seed);
+    let config = SamplerConfig::new(k).with_seed(seed).with_simd(simd);
+    let backend = config.backend();
     let mut dcfg = DistributedConfig::das5(workers).with_pipeline(pipeline);
     if let Some(fc) = faults {
         dcfg = dcfg.with_faults(fc);
@@ -412,7 +432,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     sampler.run(iters);
     let perplexity = sampler.evaluate_perplexity();
     println!(
-        "simulated {workers}-worker cluster, {iters} iterations, pipeline {:?}:\n",
+        "simulated {workers}-worker cluster, {iters} iterations, pipeline {:?}, simd {backend}:\n",
         pipeline
     );
     let report = sampler.report();

@@ -34,9 +34,10 @@ pub use mmsb_svi as svi;
 pub mod prelude {
     pub use mmsb_core::{
         communities::Communities, convergence::PlateauDetector, eval, link_probability,
-        train_threaded, Checkpoint, CheckpointError, DistributedConfig, DistributedSampler,
-        ModelState, NodeComputeModel, ParallelSampler,
-        PerplexityAccumulator, SamplerConfig, SequentialSampler, StateLayout, StepSize,
+        train_threaded, Backend, Checkpoint, CheckpointError, DistributedConfig,
+        DistributedSampler, ModelState, NodeComputeModel, ParallelSampler,
+        PerplexityAccumulator, SamplerConfig, SequentialSampler, SimdPolicy, StateLayout,
+        StepSize,
     };
     pub use mmsb_dkv::pipeline::PipelineMode;
     pub use mmsb_graph::generate::datasets::{by_name, standins, DatasetSpec};

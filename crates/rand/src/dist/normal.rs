@@ -48,16 +48,30 @@ impl Normal {
     /// Draw one standard-normal variate.
     #[inline]
     pub fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        let (u, s) = Self::standard_accept(rng);
+        let factor = (-2.0 * s.ln() / s).sqrt();
+        // The polar method yields two independent variates; we keep
+        // one to stay stateless (the second would need caching that
+        // complicates Clone/Send semantics for negligible gain here).
+        u * factor
+    }
+
+    /// The rejection half of the polar method: draw until a point lands
+    /// inside the unit disk and return its `(u, s = u² + v²)` pair.
+    ///
+    /// `u * (-2 ln s / s).sqrt()` completes the variate — exactly what
+    /// [`standard_sample`](Normal::standard_sample) computes. Splitting
+    /// the two halves lets batch callers consume the RNG stream here
+    /// (identically to `standard_sample`, draw for draw) and finish the
+    /// transcendental part vectorized over the whole batch.
+    #[inline]
+    pub fn standard_accept<R: RngCore + ?Sized>(rng: &mut R) -> (f64, f64) {
         loop {
             let u = 2.0 * rng.next_f64() - 1.0;
             let v = 2.0 * rng.next_f64() - 1.0;
             let s = u * u + v * v;
             if s > 0.0 && s < 1.0 {
-                let factor = (-2.0 * s.ln() / s).sqrt();
-                // The polar method yields two independent variates; we keep
-                // one to stay stateless (the second would need caching that
-                // complicates Clone/Send semantics for negligible gain here).
-                return u * factor;
+                return (u, s);
             }
         }
     }
@@ -101,6 +115,20 @@ mod tests {
         let (mean, var) = moments(&xs);
         assert!((mean - 3.0).abs() < 0.05, "mean={mean}");
         assert!((var - 4.0).abs() < 0.15, "var={var}");
+    }
+
+    #[test]
+    fn accept_plus_finish_matches_standard_sample() {
+        // Two clones of one RNG: the split API must consume the stream
+        // draw-for-draw like `standard_sample` and reproduce it exactly.
+        let mut r1 = rng();
+        let mut r2 = r1.clone();
+        for _ in 0..1000 {
+            let direct = Normal::standard_sample(&mut r1);
+            let (u, s) = Normal::standard_accept(&mut r2);
+            let finished = u * (-2.0 * s.ln() / s).sqrt();
+            assert_eq!(direct.to_bits(), finished.to_bits());
+        }
     }
 
     #[test]

@@ -35,6 +35,14 @@ cargo test -q --offline -p mmsb-core --test checkpoint_resume
 cargo test -q --offline -p mmsb-comm --test partial_failure
 cargo test -q --offline -p mmsb-check --test model_retry
 
+# SIMD kernel contracts: the lane-abstraction unit + property suites
+# (scalar-vs-SIMD parity per lane width, exp/log/polar ULP bounds), the
+# per-backend bitwise determinism of the full sampler at any thread
+# count, and the scalar-vs-SIMD statistical smoke train.
+cargo test -q --offline -p mmsb-simd
+cargo test -q --offline -p mmsb-core --test simd_determinism
+cargo test -q --offline -p mmsb --test simd_smoke
+
 # Observability contracts: the obs unit suite (registry, clock, span
 # rings, exporters — including the chrome-trace emit → parse → validate
 # round-trip), the CLI round-trip (simulate --trace-out/--metrics-out

@@ -102,8 +102,13 @@ fn overlap_is_recovered_not_just_partitions() {
         .ground_truth
         .memberships(generated.graph.num_vertices());
     let (train, heldout) = HeldOut::split(&generated.graph, 120, &mut rng);
+    // The overlap-vs-single margin this test asserts is only a fraction
+    // of a percent for this seed, so pin the exact chain by forcing the
+    // scalar backend; SIMD chains get their own statistical end-to-end
+    // coverage in `simd_smoke` with tolerance-based assertions.
     let config = SamplerConfig::new(8)
         .with_seed(12)
+        .with_simd(SimdPolicy::Force(Backend::Scalar))
         .with_minibatch(Strategy::StratifiedNode {
             partitions: 16,
             anchors: 16,
