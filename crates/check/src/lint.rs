@@ -47,13 +47,22 @@
 //!   other crates consume SIMD through `mmsb-simd`'s safe dispatchers,
 //!   which is what keeps every intrinsic behind one crate's proof-token
 //!   safety model and its bitwise-parity tests.
+//! * **net-confinement** — `std::net` (sockets, listeners, addresses)
+//!   may be named only under `crates/serve` (its src and tests alike).
+//!   Every other crate talks to a server through `mmsb-serve`'s public
+//!   API — `ServeHandle`, `loadgen` — so there is exactly one place
+//!   where real I/O happens, one shutdown protocol, and the simulated
+//!   transports (`mmsb-netsim`, `mmsb-comm`) can never silently grow a
+//!   real socket.
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Crates that must carry `#![forbid(unsafe_code)]` in their lib root.
-const FORBID_CRATES: &[&str] = &["rand", "graph", "svi", "comm", "netsim", "bench", "mmsb"];
+const FORBID_CRATES: &[&str] = &[
+    "rand", "graph", "svi", "comm", "netsim", "bench", "mmsb", "serve",
+];
 
 /// Path prefixes (relative to the repo root, `/`-separated) where
 /// `unsafe` is permitted.
@@ -63,6 +72,7 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/simd/src",
     "crates/core/src/sampler/driver.rs",
     "crates/core/tests/zero_alloc.rs",
+    "crates/serve/tests/zero_alloc_serve.rs",
     "crates/check/src/model",
     "crates/check/tests",
 ];
@@ -77,6 +87,9 @@ const TIME_ALLOWED: &[&str] = &["crates/obs", "crates/bench"];
 /// Path prefix where `core::arch` / `std::arch` may be named. Everyone
 /// else consumes SIMD through `mmsb-simd`'s safe dispatchers.
 const ARCH_ALLOWED: &str = "crates/simd";
+/// Path prefix where `std::net` may be named. Everyone else drives a
+/// server through `mmsb-serve`'s public API.
+const NET_ALLOWED: &str = "crates/serve";
 /// Clock-type tokens the time-confinement rule forbids elsewhere.
 const TIME_TOKENS: &[&str] = &["Instant", "SystemTime"];
 
@@ -386,6 +399,22 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Violation> {
         }
     }
 
+    if !rel.starts_with(NET_ALLOWED) {
+        for w in toks.windows(4) {
+            if w[0].text == "std" && w[1].text == ":" && w[2].text == ":" && w[3].text == "net" {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: w[0].line,
+                    rule: "net-confinement",
+                    message: "`std::net` named outside crates/serve; drive a server \
+                              through `mmsb_serve` (ServeHandle, loadgen) so real \
+                              socket I/O stays in one crate with one shutdown protocol"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
     if SYNC_CONFINED.iter().any(|p| rel.starts_with(p)) && !rel.starts_with(SYNC_MODULE) {
         for w in toks.windows(4) {
             if w[0].text == "std" && w[1].text == ":" && w[2].text == ":" && w[3].text == "sync" {
@@ -625,6 +654,22 @@ fn real() { }
         assert!(lint_file("crates/simd/tests/parity.rs", detect).is_empty());
         // Comments and strings never trip the token rule.
         let masked = "// core::arch\nlet s = \"std::arch\";";
+        assert!(lint_file("crates/graph/src/lib.rs", masked).is_empty());
+    }
+
+    #[test]
+    fn net_confinement() {
+        let uses = "use std::net::TcpListener;";
+        let vs = lint_file("crates/core/src/sampler/distributed.rs", uses);
+        assert!(vs.iter().any(|v| v.rule == "net-confinement"), "{vs:?}");
+        let connect = "let s = std::net::TcpStream::connect(addr);";
+        let vs = lint_file("crates/bench/src/bin/bench_serve.rs", connect);
+        assert!(vs.iter().any(|v| v.rule == "net-confinement"), "{vs:?}");
+        // The serving crate is the one sanctioned home — src and tests.
+        assert!(lint_file("crates/serve/src/server.rs", uses).is_empty());
+        assert!(lint_file("crates/serve/tests/e2e.rs", connect).is_empty());
+        // Comments and strings never trip the token rule.
+        let masked = "// std::net\nlet s = \"std::net::TcpStream\";";
         assert!(lint_file("crates/graph/src/lib.rs", masked).is_empty());
     }
 

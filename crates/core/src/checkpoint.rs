@@ -306,6 +306,33 @@ impl Checkpoint {
         self.seed
     }
 
+    /// Number of vertices in the captured model.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of communities in the captured model.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The state layout the chain ran under.
+    pub fn layout(&self) -> StateLayout {
+        self.layout
+    }
+
+    /// The captured memberships, flat row-major `n x k` (vertex-major).
+    /// This plus [`Self::beta`] is everything a read-only model server
+    /// needs to answer Eq. 7 and membership queries.
+    pub fn pi(&self) -> &[f32] {
+        &self.pi
+    }
+
+    /// The captured community strengths `beta`, length `k`.
+    pub fn beta(&self) -> &[f64] {
+        &self.beta
+    }
+
     /// Serialize to the versioned, checksummed wire format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(

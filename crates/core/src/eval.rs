@@ -9,6 +9,38 @@ use mmsb_graph::generate::GroundTruth;
 use mmsb_graph::VertexId;
 use std::collections::HashSet;
 
+/// The paper's Eq. 7 edge likelihood, the one shared implementation
+/// behind held-out perplexity ([`crate::link_probability`]),
+/// link-prediction evaluation, and the online serving layer
+/// (`mmsb-serve`):
+///
+/// `p(y_ab = 1) = sum_k pi_ak pi_bk beta_k + (1 - sum_k pi_ak pi_bk) delta`
+///
+/// `pi` rows are the `f32` memberships the samplers store (derived from
+/// `phi` by the exact `pi = phi / S` collapse); products are widened to
+/// `f64` before accumulating. Because each row sums to 1 only up to
+/// `f32` rounding, the common-community mass `sum_k pi_ak pi_bk` can
+/// land a few ulps above 1 — it is clamped so the returned value is
+/// always a probability.
+///
+/// # Panics
+/// Panics (debug) if either `pi` row is shorter than `beta`.
+#[inline]
+pub fn edge_likelihood(pi_a: &[f32], pi_b: &[f32], beta: &[f64], delta: f64) -> f64 {
+    let k = beta.len();
+    debug_assert!(pi_a.len() >= k && pi_b.len() >= k);
+    let mut same = 0.0f64; // sum_k pi_ak pi_bk
+    let mut linked = 0.0f64; // sum_k pi_ak pi_bk beta_k
+    for c in 0..k {
+        let p = pi_a[c] as f64 * pi_b[c] as f64;
+        same += p;
+        linked += p * beta[c];
+    }
+    // Guard against f32 rounding pushing `same` past 1.
+    let same = same.min(1.0);
+    linked + (1.0 - same) * delta
+}
+
 /// F1 score of one detected set against one truth set.
 pub fn f1_of_sets(detected: &[VertexId], truth: &[VertexId]) -> f64 {
     if detected.is_empty() && truth.is_empty() {
@@ -192,6 +224,100 @@ mod tests {
 
     fn v(ids: &[u32]) -> Vec<VertexId> {
         ids.iter().map(|&i| VertexId(i)).collect()
+    }
+
+    /// Naive O(K) reference for Eq. 7: two separate passes, no clamp
+    /// tricks, accumulation order identical to reading the formula.
+    fn naive_edge_likelihood(pi_a: &[f32], pi_b: &[f32], beta: &[f64], delta: f64) -> f64 {
+        let same: f64 = (0..beta.len())
+            .map(|c| pi_a[c] as f64 * pi_b[c] as f64)
+            .sum();
+        let linked: f64 = (0..beta.len())
+            .map(|c| pi_a[c] as f64 * pi_b[c] as f64 * beta[c])
+            .sum();
+        linked + (1.0 - same.min(1.0)) * delta
+    }
+
+    /// Tiny xorshift for seeded test vectors (no dev-dependency needed).
+    fn rng_stream(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// A pi row built the way the samplers build them: positive phi
+    /// scores collapsed by the exact `pi = phi / S` relation, stored f32.
+    fn collapsed_pi_row(k: usize, next: &mut impl FnMut() -> f64) -> Vec<f32> {
+        let phi: Vec<f64> = (0..k).map(|_| 1e-10 + next() * 3.0).collect();
+        let s: f64 = phi.iter().sum();
+        phi.iter().map(|&p| (p / s) as f32).collect()
+    }
+
+    #[test]
+    fn edge_likelihood_matches_naive_reference_seeded() {
+        for &k in &[1usize, 2, 3, 8, 33, 257] {
+            let mut next = rng_stream(k as u64 + 101);
+            for case in 0..8 {
+                let pi_a = collapsed_pi_row(k, &mut next);
+                let pi_b = collapsed_pi_row(k, &mut next);
+                let beta: Vec<f64> = (0..k).map(|_| next()).collect();
+                let delta = [1e-8, 1e-5, 0.01, 0.3][case % 4];
+                let got = edge_likelihood(&pi_a, &pi_b, &beta, delta);
+                let expect = naive_edge_likelihood(&pi_a, &pi_b, &beta, delta);
+                assert!(
+                    (got - expect).abs() <= 1e-14 * (1.0 + expect.abs()),
+                    "k={k} case={case}: {got} vs {expect}"
+                );
+                assert!((0.0..=1.0).contains(&got), "k={k}: p = {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_likelihood_collapse_edge_cases() {
+        // Full overlap in one community: p = beta exactly.
+        assert_eq!(edge_likelihood(&[1.0, 0.0], &[1.0, 0.0], &[0.8, 0.5], 0.01), 0.8);
+        // Disjoint support: only the background rate remains.
+        let p = edge_likelihood(&[1.0, 0.0], &[0.0, 1.0], &[0.8, 0.5], 0.01);
+        assert!((p - 0.01).abs() < 1e-15);
+        // K = 1 is total collapse: pi = phi/S = 1 for every vertex, so
+        // the delta term vanishes identically.
+        assert_eq!(edge_likelihood(&[1.0], &[1.0], &[0.37], 0.9), 0.37);
+        // Rows whose f32 sum exceeds 1: `same` must clamp so p stays a
+        // probability even with beta = 1 everywhere.
+        let k = 3000;
+        let w = (1.0f64 / k as f64) as f32;
+        // nextafter(w) so the row sums slightly above 1.
+        let w_up = f32::from_bits(w.to_bits() + 1);
+        let row = vec![w_up; k];
+        let beta = vec![1.0f64; k];
+        let p = edge_likelihood(&row, &row, &beta, 1.0);
+        assert!((0.0..=1.0).contains(&p), "clamped probability, got {p}");
+        // And the identical-rows diagonal with beta = 1, delta = 0 is the
+        // squared norm — strictly positive, at most 1.
+        let p = edge_likelihood(&row, &row, &beta, 0.0);
+        assert!(p > 0.0 && p <= 1.0);
+    }
+
+    #[test]
+    fn edge_likelihood_agrees_with_link_probability() {
+        let mut next = rng_stream(7);
+        let pi_a = collapsed_pi_row(16, &mut next);
+        let pi_b = collapsed_pi_row(16, &mut next);
+        let beta: Vec<f64> = (0..16).map(|_| next()).collect();
+        let p1 = edge_likelihood(&pi_a, &pi_b, &beta, 1e-5);
+        assert_eq!(
+            crate::link_probability(&pi_a, &pi_b, &beta, 1e-5, true),
+            p1
+        );
+        assert_eq!(
+            crate::link_probability(&pi_a, &pi_b, &beta, 1e-5, false),
+            1.0 - p1
+        );
     }
 
     #[test]

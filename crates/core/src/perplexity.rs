@@ -6,22 +6,11 @@
 //! samples before* taking the log.
 
 /// Marginal probability of observation `y` for a pair under the current
-/// parameters: `p(y=1) = sum_k pi_ak pi_bk beta_k +
-/// (1 - sum_k pi_ak pi_bk) delta`.
+/// parameters — [`crate::eval::edge_likelihood`] (Eq. 7) for `y = true`,
+/// its complement for `y = false`.
 #[inline]
 pub fn link_probability(pi_a: &[f32], pi_b: &[f32], beta: &[f64], delta: f64, y: bool) -> f64 {
-    let k = beta.len();
-    debug_assert!(pi_a.len() >= k && pi_b.len() >= k);
-    let mut same = 0.0f64; // sum_k pi_ak pi_bk
-    let mut linked = 0.0f64; // sum_k pi_ak pi_bk beta_k
-    for c in 0..k {
-        let p = pi_a[c] as f64 * pi_b[c] as f64;
-        same += p;
-        linked += p * beta[c];
-    }
-    // Guard against f32 rounding pushing `same` past 1.
-    let same = same.min(1.0);
-    let p1 = linked + (1.0 - same) * delta;
+    let p1 = crate::eval::edge_likelihood(pi_a, pi_b, beta, delta);
     if y {
         p1
     } else {

@@ -126,6 +126,12 @@ impl ParallelSampler {
     pub fn config(&self) -> &SamplerConfig {
         &self.engine.config
     }
+
+    /// Capture the full chain state as a restorable, servable
+    /// [`crate::Checkpoint`] (the PR 4 format v1 artifact).
+    pub fn checkpoint(&self) -> crate::Checkpoint {
+        crate::Checkpoint::capture(&self.engine)
+    }
 }
 
 #[cfg(test)]

@@ -99,6 +99,12 @@ impl SequentialSampler {
         &self.engine.config
     }
 
+    /// Capture the full chain state as a restorable, servable
+    /// [`crate::Checkpoint`] (the PR 4 format v1 artifact).
+    pub fn checkpoint(&self) -> crate::Checkpoint {
+        crate::Checkpoint::capture(&self.engine)
+    }
+
     /// The training graph.
     pub fn graph(&self) -> &Graph {
         &self.engine.graph

@@ -52,6 +52,10 @@ pub struct ThreadedOutcome {
     pub state: ModelState,
     /// `(iteration, averaged perplexity)` at each evaluation point.
     pub perplexity_trace: Vec<(u64, f64)>,
+    /// The final chain state as a restorable, servable
+    /// [`crate::Checkpoint`] (the PR 4 format v1 artifact), captured after
+    /// the pi sync-back.
+    pub checkpoint: crate::Checkpoint,
 }
 
 /// One-shot threaded training run.
@@ -184,9 +188,11 @@ pub fn train_threaded(
         store.read_batch(&[a], &mut row)?;
         engine.state.apply_dkv_row(a, &row);
     }
+    let checkpoint = crate::Checkpoint::capture(&engine);
     Ok(ThreadedOutcome {
         state: engine.state,
         perplexity_trace: trace,
+        checkpoint,
     })
 }
 

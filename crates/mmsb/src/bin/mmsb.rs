@@ -6,7 +6,9 @@
 //! mmsb generate --vertices 2000 --communities 16 --out g.txt
 //! mmsb train --input g.txt --k 16 --iters 2000 --out communities.txt
 //! mmsb train --dataset syn-youtube --driver parallel --eval-every 200
+//! mmsb train --input g.txt --k 16 --checkpoint model.ckpt --checkpoint-every 500
 //! mmsb simulate --workers 16 --k 64 --iters 50 --pipeline off
+//! mmsb serve --model model.ckpt --addr 127.0.0.1:7070 --threads 4
 //! ```
 
 use mmsb::graph::io;
@@ -57,7 +59,7 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage: mmsb <datasets|generate|train|simulate> [--flags]\n\
+    "usage: mmsb <datasets|generate|train|simulate|serve> [--flags]\n\
      observability (train/simulate): --obs-level off|metrics|spans \
      --metrics-out FILE --trace-out FILE\n\
      run `mmsb <command> --help` for the command's flags"
@@ -144,6 +146,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args),
         "train" => cmd_train(&args),
         "simulate" => cmd_simulate(&args),
+        "serve" => cmd_serve(&args),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     };
     match result {
@@ -233,8 +236,13 @@ fn cmd_train(args: &Args) -> Result<(), String> {
              [--k K] [--iters N] [--driver sequential|parallel|threaded] \
              [--workers R] [--pipeline on|off] [--eval-every N] \
              [--heldout L] [--seed S] [--threshold T] [--out FILE] \
+             [--checkpoint FILE] [--checkpoint-every N] \
              [--simd auto|scalar|sse2|avx2|neon] \
-             [--obs-level off|metrics|spans] [--metrics-out FILE] [--trace-out FILE]"
+             [--obs-level off|metrics|spans] [--metrics-out FILE] [--trace-out FILE]\n\
+             --checkpoint writes the final model as a servable checkpoint \
+             (`mmsb serve --model FILE`); --checkpoint-every also saves \
+             every N iterations (sequential/parallel drivers; the \
+             threaded driver checkpoints once, at the end)"
         );
         return Ok(());
     }
@@ -259,6 +267,18 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "on" => PipelineMode::Double,
         "off" => PipelineMode::Single,
         other => return Err(format!("--pipeline expects on/off, got {other:?}")),
+    };
+    let checkpoint_path = args.get("checkpoint").map(str::to_string);
+    let checkpoint_every: u64 = args.parsed("checkpoint-every", 0)?;
+    if checkpoint_every > 0 && checkpoint_path.is_none() {
+        return Err("--checkpoint-every needs --checkpoint FILE".to_string());
+    }
+    let save_checkpoint = |ckpt: &Checkpoint, iteration: u64| -> Result<(), String> {
+        let path = checkpoint_path.as_deref().expect("gated on --checkpoint");
+        ckpt.save(std::path::Path::new(path))
+            .map_err(|e| e.to_string())?;
+        println!("checkpoint (iteration {iteration}) written to {path}");
+        Ok(())
     };
 
     let simd = simd_from_args(args)?;
@@ -292,21 +312,47 @@ fn cmd_train(args: &Args) -> Result<(), String> {
                     ParallelSampler::new(train, heldout, config).map_err(|e| e.to_string())?,
                 ))
             };
+            // Step to whichever boundary comes first — evaluation or
+            // checkpoint — so both cadences hold without overshooting.
             let mut done = 0u64;
+            let mut next_eval = eval_every.max(1);
+            let mut next_ckpt = if checkpoint_every > 0 {
+                checkpoint_every
+            } else {
+                u64::MAX
+            };
+            let mut last_saved: Option<u64> = None;
             while done < iters {
-                let step = eval_every.min(iters - done).max(1);
-                let perplexity = match &mut s {
-                    Either::Seq(x) => {
-                        x.run(step);
-                        x.evaluate_perplexity()
-                    }
-                    Either::Par(x) => {
-                        x.run(step);
-                        x.evaluate_perplexity()
-                    }
+                let stop = iters.min(next_eval).min(next_ckpt);
+                match &mut s {
+                    Either::Seq(x) => x.run(stop - done),
+                    Either::Par(x) => x.run(stop - done),
+                }
+                done = stop;
+                if done == next_eval || done == iters {
+                    let perplexity = match &mut s {
+                        Either::Seq(x) => x.evaluate_perplexity(),
+                        Either::Par(x) => x.evaluate_perplexity(),
+                    };
+                    println!("iter {done:>7}  perplexity {perplexity:.4}");
+                    next_eval = done + eval_every.max(1);
+                }
+                if done == next_ckpt {
+                    let ckpt = match &s {
+                        Either::Seq(x) => x.checkpoint(),
+                        Either::Par(x) => x.checkpoint(),
+                    };
+                    save_checkpoint(&ckpt, done)?;
+                    last_saved = Some(done);
+                    next_ckpt = done + checkpoint_every;
+                }
+            }
+            if checkpoint_path.is_some() && last_saved != Some(done) {
+                let ckpt = match &s {
+                    Either::Seq(x) => x.checkpoint(),
+                    Either::Par(x) => x.checkpoint(),
                 };
-                done += step;
-                println!("iter {done:>7}  perplexity {perplexity:.4}");
+                save_checkpoint(&ckpt, done)?;
             }
             match s {
                 Either::Seq(x) => x.state().clone(),
@@ -319,6 +365,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
                     .map_err(|e| e.to_string())?;
             for (it, perplexity) in &outcome.perplexity_trace {
                 println!("iter {it:>7}  perplexity {perplexity:.4}");
+            }
+            if checkpoint_path.is_some() {
+                save_checkpoint(&outcome.checkpoint, iters)?;
             }
             outcome.state
         }
@@ -459,4 +508,54 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         );
     }
     obs_finish(&obs_out, workers)
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    if args.get("help").is_some() {
+        println!(
+            "mmsb serve --model FILE [--addr HOST:PORT] [--threads N] \
+             [--delta D] [--k K] [--simd auto|scalar|sse2|avx2|neon] \
+             [--obs-level off|metrics|spans]\n\
+             serves a checkpoint (from `mmsb train --checkpoint` or \
+             `mmsb simulate --checkpoint`) over HTTP until killed; \
+             --k is the default top-k for /v1/membership, --delta the \
+             Eq. 7 inter-community link probability, --threads the \
+             number of concurrently served connections.\n\
+             endpoints: GET /healthz | GET /metricsz | \
+             GET /v1/membership/VERTEX?k=N | GET /v1/edge/I/J | \
+             GET /v1/community/C?min_weight=W | POST /v1/reload"
+        );
+        return Ok(());
+    }
+    obs_setup(args)?;
+    let model = args
+        .get("model")
+        .ok_or("serve needs --model FILE (a checkpoint; see `mmsb train --help`)")?;
+    let simd = simd_from_args(args)?;
+    let backend = simd.resolve().map_err(|e| e.to_string())?;
+    let cfg = mmsb::serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7070").to_string(),
+        threads: args.parsed("threads", 1)?,
+        delta: args.parsed("delta", 1e-5)?,
+        backend,
+        default_k: args.parsed("k", 5)?,
+    };
+    let handle = mmsb::serve::ServeHandle::start(std::path::Path::new(model), &cfg)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "serving {model} at http://{} — {} worker thread(s), simd {backend}, \
+         generation {}",
+        handle.addr(),
+        cfg.threads.max(1),
+        handle.generation()
+    );
+    println!(
+        "endpoints: /healthz /metricsz /v1/membership/{{v}}?k= \
+         /v1/edge/{{i}}/{{j}} /v1/community/{{c}}?min_weight= (POST) /v1/reload"
+    );
+    // Serve until the process is killed; the handle's workers do all
+    // the work, this thread just stays parked.
+    loop {
+        std::thread::park();
+    }
 }

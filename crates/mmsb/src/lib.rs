@@ -28,6 +28,7 @@ pub use mmsb_netsim as netsim;
 pub use mmsb_obs as obs;
 pub use mmsb_pool as pool;
 pub use mmsb_rand as rand;
+pub use mmsb_serve as serve;
 pub use mmsb_svi as svi;
 
 /// The most commonly used items, re-exported flat.
@@ -49,6 +50,7 @@ pub mod prelude {
     pub use mmsb_netsim::{FaultConfig, FaultPlan, NetworkModel, Phase, RecoveryPolicy, TraceReport};
     pub use mmsb_obs::{ObsConfig, ObsLevel};
     pub use mmsb_rand::{Rng, RngCore, Xoshiro256PlusPlus};
+    pub use mmsb_serve::{ModelSnapshot, ServeConfig, ServeHandle, SnapshotCell};
     pub use mmsb_svi::SviSampler;
 }
 

@@ -48,8 +48,16 @@ pub mod id {
     pub const C_CHECKPOINTS: usize = 14;
     /// core: recoveries performed after a kill.
     pub const C_RECOVERIES: usize = 15;
+    /// serve: HTTP requests handled (all endpoints).
+    pub const C_SERVE_REQUESTS: usize = 16;
+    /// serve: requests answered with a 4xx/5xx status.
+    pub const C_SERVE_ERRORS: usize = 17;
+    /// serve: model snapshots published via `POST /v1/reload`.
+    pub const C_SERVE_RELOADS: usize = 18;
+    /// serve: TCP connections accepted.
+    pub const C_SERVE_CONNS: usize = 19;
     /// Number of counters.
-    pub const COUNTER_COUNT: usize = 16;
+    pub const COUNTER_COUNT: usize = 20;
 
     /// Counter names, indexed by counter id (export order).
     pub const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
@@ -69,6 +77,10 @@ pub mod id {
         "sampler_steps",
         "checkpoints",
         "recoveries",
+        "serve_requests",
+        "serve_errors",
+        "serve_reloads",
+        "serve_conns",
     ];
 
     // --- gauges -----------------------------------------------------
@@ -76,11 +88,13 @@ pub mod id {
     pub const G_WORKERS: usize = 0;
     /// Current [`crate::ObsLevel`] as its integer value.
     pub const G_OBS_LEVEL: usize = 1;
+    /// serve: requests currently being handled.
+    pub const G_SERVE_INFLIGHT: usize = 2;
     /// Number of gauges.
-    pub const GAUGE_COUNT: usize = 2;
+    pub const GAUGE_COUNT: usize = 3;
 
     /// Gauge names, indexed by gauge id.
-    pub const GAUGE_NAMES: [&str; GAUGE_COUNT] = ["workers", "obs_level"];
+    pub const GAUGE_NAMES: [&str; GAUGE_COUNT] = ["workers", "obs_level", "serve_inflight"];
 
     // --- histograms -------------------------------------------------
     /// First of [`HIST_PHASES`] per-phase histograms, one per netsim
@@ -100,8 +114,16 @@ pub mod id {
     pub const H_POOL_IDLE_NS: usize = H_POOL_BUSY_NS + 1;
     /// core: whole sampler step wall time (ns).
     pub const H_STEP_NS: usize = H_POOL_IDLE_NS + 1;
+    /// serve: membership-request handling latency (ns).
+    pub const H_SERVE_MEMBERSHIP_NS: usize = H_STEP_NS + 1;
+    /// serve: edge-likelihood request handling latency (ns).
+    pub const H_SERVE_EDGE_NS: usize = H_SERVE_MEMBERSHIP_NS + 1;
+    /// serve: community-listing request handling latency (ns).
+    pub const H_SERVE_COMMUNITY_NS: usize = H_SERVE_EDGE_NS + 1;
+    /// serve: every other endpoint's handling latency (ns).
+    pub const H_SERVE_OTHER_NS: usize = H_SERVE_COMMUNITY_NS + 1;
     /// Number of histograms.
-    pub const HIST_COUNT: usize = H_STEP_NS + 1;
+    pub const HIST_COUNT: usize = H_SERVE_OTHER_NS + 1;
 
     /// Histogram names, indexed by histogram id. The phase entries use
     /// the same strings as `Phase::name()` prefixed with `phase_`.
@@ -123,6 +145,10 @@ pub mod id {
         "pool_busy_ns",
         "pool_idle_ns",
         "step_ns",
+        "serve_membership_ns",
+        "serve_edge_ns",
+        "serve_community_ns",
+        "serve_other_ns",
     ];
 
     // --- spans (ids shared with `crate::spans`) ----------------------
@@ -140,10 +166,12 @@ pub mod id {
     pub const S_POOL_JOB: usize = S_COMM_COLLECTIVE + 1;
     /// One checkpoint capture.
     pub const S_CHECKPOINT: usize = S_POOL_JOB + 1;
+    /// One serve request (parse + handle + respond).
+    pub const S_SERVE_REQUEST: usize = S_CHECKPOINT + 1;
     /// The phi-update stage of a step.
     pub const S_UPDATE_PHI: usize = S_PHASE_BASE + 4;
     /// Number of span ids.
-    pub const SPAN_COUNT: usize = S_CHECKPOINT + 1;
+    pub const SPAN_COUNT: usize = S_SERVE_REQUEST + 1;
 
     /// Span names, indexed by span id. Phase spans reuse the netsim
     /// `Phase::name()` strings so virtual-time and real-time views read
@@ -166,6 +194,7 @@ pub mod id {
         "comm_collective",
         "pool_job",
         "checkpoint",
+        "serve_request",
     ];
 }
 

@@ -1,0 +1,210 @@
+//! The lock-free-for-readers snapshot publication cell.
+//!
+//! A server has one writer path (reload, rare) and many reader paths
+//! (every request, hot). The cell biases accordingly:
+//!
+//! * **Publish** locks a mutex, replaces the shared `Arc`, and bumps a
+//!   generation counter (`Release`, inside the lock so the counter and
+//!   the slot can never be observed torn by a refreshing reader).
+//! * **Read** holds a [`ReaderCache`]: a private `Arc` clone plus the
+//!   generation it was cloned at. [`SnapshotCellIn::refresh`] loads the
+//!   generation (`Acquire`); if unchanged — the steady state — it
+//!   returns without touching the lock: one atomic load, wait-free,
+//!   no allocation (cloning an `Arc` never allocates either). Only a
+//!   stale cache takes the lock to re-clone.
+//!
+//! The old snapshot is freed by whichever reader drops the last `Arc`
+//! clone — a reader mid-query keeps its model alive however many
+//! reloads land meanwhile, so there is no torn read and no
+//! stale-free window by construction.
+//!
+//! The protocol is generic over [`SyncBackend`]: production uses
+//! [`SnapshotCell`] (= [`RealSync`]), and `mmsb-check`'s
+//! `model_snapshot_cell` suite exhaustively interleaves the same code
+//! on the model backend.
+
+use mmsb_pool::{RealSync, SyncBackend};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Publication cell for immutable snapshots of type `T`, generic over
+/// the synchronization backend.
+pub struct SnapshotCellIn<T: Send + Sync + 'static, S: SyncBackend> {
+    current: S::Mutex<Arc<T>>,
+    /// Bumped once per publish, inside the `current` lock.
+    generation: S::AtomicUsize,
+}
+
+/// [`SnapshotCellIn`] on the production (`std::sync`) backend.
+pub type SnapshotCell<T> = SnapshotCellIn<T, RealSync>;
+
+impl<T: Send + Sync + 'static, S: SyncBackend> SnapshotCellIn<T, S> {
+    /// A cell initially holding `snapshot`, at generation 0.
+    pub fn new(snapshot: Arc<T>) -> Self {
+        Self {
+            current: S::mutex(snapshot),
+            generation: S::atomic_usize(0),
+        }
+    }
+
+    /// Publish `next` as the current snapshot and return the new
+    /// generation. Readers that already cloned the previous snapshot
+    /// keep serving it until their next [`Self::refresh`].
+    pub fn publish(&self, next: Arc<T>) -> usize {
+        let mut slot = S::lock(&self.current);
+        *slot = next;
+        // Inside the lock: a refreshing reader (which also locks) can
+        // never pair the new generation with the old Arc or vice versa.
+        S::fetch_add(&self.generation, 1, Ordering::Release) + 1
+    }
+
+    /// The current generation (0 until the first publish).
+    pub fn generation(&self) -> usize {
+        S::load(&self.generation, Ordering::Acquire)
+    }
+
+    /// Clone the current snapshot into a fresh [`ReaderCache`].
+    pub fn reader(&self) -> ReaderCache<T> {
+        let slot = S::lock(&self.current);
+        let snap = Arc::clone(&slot);
+        let seen = S::load(&self.generation, Ordering::Acquire);
+        drop(slot);
+        ReaderCache {
+            snap,
+            seen_generation: seen,
+        }
+    }
+
+    /// Bring `cache` up to date. The steady-state path (no publish
+    /// since the last refresh) is a single `Acquire` load — wait-free
+    /// and allocation-free. Returns `true` when the cache was updated.
+    pub fn refresh(&self, cache: &mut ReaderCache<T>) -> bool {
+        if S::load(&self.generation, Ordering::Acquire) == cache.seen_generation {
+            return false;
+        }
+        let slot = S::lock(&self.current);
+        cache.snap = Arc::clone(&slot);
+        // Re-read inside the lock: the slot cannot change between this
+        // load and the clone above, so the pair is consistent even if
+        // another publish raced our first load.
+        cache.seen_generation = S::load(&self.generation, Ordering::Acquire);
+        drop(slot);
+        true
+    }
+}
+
+impl<T: Send + Sync + 'static, S: SyncBackend> std::fmt::Debug for SnapshotCellIn<T, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCell")
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
+/// A reader's private handle: an `Arc` clone of some published
+/// snapshot plus the generation it was observed at.
+#[derive(Debug)]
+pub struct ReaderCache<T> {
+    snap: Arc<T>,
+    seen_generation: usize,
+}
+
+impl<T> ReaderCache<T> {
+    /// The cached snapshot.
+    pub fn get(&self) -> &T {
+        &self.snap
+    }
+
+    /// The generation the cached snapshot was observed at.
+    pub fn generation(&self) -> usize {
+        self.seen_generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
+    use std::sync::Barrier;
+
+    #[test]
+    fn reader_sees_initial_then_published() {
+        let cell: SnapshotCell<u64> = SnapshotCell::new(Arc::new(10));
+        let mut r = cell.reader();
+        assert_eq!(*r.get(), 10);
+        assert_eq!(r.generation(), 0);
+        assert!(!cell.refresh(&mut r), "no publish yet");
+
+        assert_eq!(cell.publish(Arc::new(20)), 1);
+        assert_eq!(cell.generation(), 1);
+        assert!(cell.refresh(&mut r));
+        assert_eq!(*r.get(), 20);
+        assert_eq!(r.generation(), 1);
+        assert!(!cell.refresh(&mut r), "already current");
+    }
+
+    #[test]
+    fn stale_reader_keeps_old_snapshot_alive() {
+        let cell: SnapshotCell<Vec<u8>> = SnapshotCell::new(Arc::new(vec![1, 2, 3]));
+        let r = cell.reader();
+        cell.publish(Arc::new(vec![9]));
+        cell.publish(Arc::new(vec![8]));
+        // The un-refreshed reader still serves the original bytes.
+        assert_eq!(r.get().as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn generations_are_monotonic_across_publishes() {
+        let cell: SnapshotCell<usize> = SnapshotCell::new(Arc::new(0));
+        for g in 1..=5 {
+            assert_eq!(cell.publish(Arc::new(g)), g);
+        }
+        let r = cell.reader();
+        assert_eq!(*r.get(), 5);
+        assert_eq!(r.generation(), 5);
+    }
+
+    /// Readers hammer `refresh` while a writer publishes; every
+    /// observed (value, generation) pair must be one the writer
+    /// actually published — never torn, and never going backwards.
+    #[test]
+    fn concurrent_refresh_never_observes_torn_state() {
+        // Value i is published at generation i, so consistency is
+        // simply value == generation.
+        let cell = Arc::new(SnapshotCell::new(Arc::new(0usize)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let checked = Arc::new(AtomicUsize::new(0));
+        let start = Arc::new(Barrier::new(5));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                let checked = Arc::clone(&checked);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    let mut cache = cell.reader();
+                    let mut last_gen = cache.generation();
+                    start.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        cell.refresh(&mut cache);
+                        let (v, g) = (*cache.get(), cache.generation());
+                        assert_eq!(v, g, "torn snapshot: value {v} at generation {g}");
+                        assert!(g >= last_gen, "generation went backwards");
+                        last_gen = g;
+                        checked.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        start.wait();
+        for g in 1..=2000 {
+            cell.publish(Arc::new(g));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert!(checked.load(Ordering::Relaxed) > 0);
+        assert_eq!(cell.generation(), 2000);
+    }
+}

@@ -1,0 +1,183 @@
+//! In-process load generation against a running server.
+//!
+//! Two modes, matching the two numbers a serving layer is judged by:
+//!
+//! * [`throughput`] — keep-alive + pipelining: batches of `depth`
+//!   requests go out in one write, responses are drained and counted.
+//!   This measures the server's sustainable queries/sec without the
+//!   client's per-request round-trip dominating.
+//! * [`latency`] — strictly serial request → response pairs, one
+//!   [`mmsb_obs::clock::Stopwatch`] sample each, reported as sorted
+//!   quantiles. This measures what a synchronous caller experiences.
+//!
+//! Lives in `mmsb-serve` (not `mmsb-bench`) so the workspace's
+//! net-confinement lint keeps every `std::net` user in this crate;
+//! `bench_serve` drives these functions through their public API.
+
+use crate::http;
+use mmsb_obs::clock::Stopwatch;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+
+/// Result of a [`throughput`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputReport {
+    /// Requests completed.
+    pub requests: u64,
+    /// Responses with a non-200 status.
+    pub errors: u64,
+    /// Wall time for the whole run.
+    pub elapsed_ns: u64,
+    /// Completed requests per second.
+    pub qps: f64,
+    /// Mean nanoseconds per request.
+    pub ns_per_request: u64,
+}
+
+/// Result of a [`latency`] run (client-observed round-trip times).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyReport {
+    /// Round trips sampled.
+    pub samples: u64,
+    /// Responses with a non-200 status.
+    pub errors: u64,
+    /// Median round-trip nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile round-trip nanoseconds.
+    pub p99_ns: u64,
+    /// Fastest round trip.
+    pub min_ns: u64,
+    /// Slowest round trip.
+    pub max_ns: u64,
+}
+
+/// Render a keep-alive GET for `path` as raw request bytes.
+pub fn get_request(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\n\r\n").into_bytes()
+}
+
+/// Render a keep-alive POST (empty body) for `path`.
+pub fn post_request(path: &str) -> Vec<u8> {
+    format!("POST {path} HTTP/1.1\r\nContent-Length: 0\r\n\r\n").into_bytes()
+}
+
+/// Drive `total` requests (cycling through `requests`) over one
+/// keep-alive connection, `depth` requests in flight per batch.
+pub fn throughput(
+    addr: SocketAddr,
+    requests: &[Vec<u8>],
+    total: usize,
+    depth: usize,
+) -> std::io::Result<ThroughputReport> {
+    assert!(!requests.is_empty() && depth > 0);
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut batch = Vec::with_capacity(depth * 64);
+    let mut resp = vec![0u8; 256 * 1024];
+    let mut filled = 0usize;
+    let mut next = 0usize;
+    let mut done = 0u64;
+    let mut errors = 0u64;
+
+    let sw = Stopwatch::start();
+    let mut remaining = total;
+    while remaining > 0 {
+        let burst = remaining.min(depth);
+        batch.clear();
+        for _ in 0..burst {
+            batch.extend_from_slice(&requests[next]);
+            next = (next + 1) % requests.len();
+        }
+        stream.write_all(&batch)?;
+
+        let mut pending = burst;
+        while pending > 0 {
+            // Consume every complete response in the buffer.
+            let mut consumed = 0;
+            while pending > 0 {
+                match http::parse_response(&resp[consumed..filled]) {
+                    Some((status, len)) => {
+                        if status != 200 {
+                            errors += 1;
+                        }
+                        consumed += len;
+                        pending -= 1;
+                        done += 1;
+                    }
+                    None => break,
+                }
+            }
+            if consumed > 0 {
+                resp.copy_within(consumed..filled, 0);
+                filled -= consumed;
+            }
+            if pending == 0 {
+                break;
+            }
+            let n = stream.read(&mut resp[filled..])?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-batch",
+                ));
+            }
+            filled += n;
+        }
+        remaining -= burst;
+    }
+    let elapsed_ns = sw.elapsed_ns().max(1);
+    Ok(ThroughputReport {
+        requests: done,
+        errors,
+        elapsed_ns,
+        qps: done as f64 / (elapsed_ns as f64 / 1e9),
+        ns_per_request: elapsed_ns / done.max(1),
+    })
+}
+
+/// Sample `samples` strictly-serial round trips (cycling through
+/// `requests`) over one keep-alive connection.
+pub fn latency(
+    addr: SocketAddr,
+    requests: &[Vec<u8>],
+    samples: usize,
+) -> std::io::Result<LatencyReport> {
+    assert!(!requests.is_empty() && samples > 0);
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut resp = vec![0u8; 256 * 1024];
+    let mut times = Vec::with_capacity(samples);
+    let mut errors = 0u64;
+    for i in 0..samples {
+        let sw = Stopwatch::start();
+        stream.write_all(&requests[i % requests.len()])?;
+        let mut filled = 0usize;
+        let (status, _len) = loop {
+            let n = stream.read(&mut resp[filled..])?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-response",
+                ));
+            }
+            filled += n;
+            if let Some(parsed) = http::parse_response(&resp[..filled]) {
+                break parsed;
+            }
+        };
+        times.push(sw.elapsed_ns());
+        if status != 200 {
+            errors += 1;
+        }
+    }
+    times.sort_unstable();
+    let q = |p: f64| times[((times.len() - 1) as f64 * p).round() as usize];
+    Ok(LatencyReport {
+        samples: times.len() as u64,
+        errors,
+        p50_ns: q(0.50),
+        p99_ns: q(0.99),
+        min_ns: times[0],
+        max_ns: *times.last().unwrap(),
+    })
+}

@@ -1,0 +1,315 @@
+//! The HTTP server: `mmsb-pool` workers running accept loops over a
+//! shared `TcpListener`.
+//!
+//! [`ServeHandle::start`] loads the checkpoint, builds the first
+//! [`ModelSnapshot`], binds the listener (so the caller knows the real
+//! port before the call returns — bind to port 0 for an ephemeral
+//! one), and spawns a driver thread that parks a [`mmsb_pool::ThreadPool`]
+//! in `run(threads, accept_loop)`: each chunk is one accept loop, so
+//! `threads` connections are served concurrently. Each connection gets
+//! reusable scratch (read buffer, body buffer, response buffer, and a
+//! [`ReaderCache`] onto the snapshot cell) sized once at accept —
+//! steady-state request handling allocates nothing.
+//!
+//! Shutdown: an `AtomicBool` plus one wake-up connection per worker
+//! (blocked `accept` calls have no timeout; a dummy connect unblocks
+//! them), and per-connection read timeouts so workers serving an idle
+//! keep-alive connection also observe the flag.
+
+use crate::cell::SnapshotCell;
+use crate::handlers;
+use crate::http::{self, Parsed};
+use crate::snapshot::{ModelSnapshot, SnapshotError};
+use mmsb_core::Checkpoint;
+use mmsb_obs::id as obs_id;
+use mmsb_pool::ThreadPool;
+use mmsb_simd::Backend;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7070`; port 0 picks an ephemeral
+    /// port (read it back from [`ServeHandle::addr`]).
+    pub addr: String,
+    /// Worker threads (= concurrently served connections), minimum 1.
+    pub threads: usize,
+    /// Inter-community link probability for Eq. 7. Not stored in the
+    /// checkpoint artifact — defaults to the sampler default `1e-5`.
+    pub delta: f64,
+    /// SIMD backend for edge queries.
+    pub backend: Backend,
+    /// `k` used by membership queries that omit `?k=`.
+    pub default_k: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            delta: 1e-5,
+            backend: Backend::detect(),
+            default_k: 5,
+        }
+    }
+}
+
+/// Why the server could not start or reload.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The checkpoint failed to load or verify.
+    Checkpoint(String),
+    /// The checkpoint loaded but is not servable.
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io: {e}"),
+            ServeError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            ServeError::Snapshot(e) => write!(f, "snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// State shared by every worker and the reload path.
+pub(crate) struct ServerShared {
+    /// The published model.
+    pub(crate) cell: SnapshotCell<ModelSnapshot>,
+    /// Where [`ServerShared::reload`] re-reads the checkpoint from.
+    model_path: Mutex<PathBuf>,
+    delta: f64,
+    backend: Backend,
+    pub(crate) default_k: usize,
+    pub(crate) inflight: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl ServerShared {
+    /// Re-read the checkpoint file and publish a fresh snapshot;
+    /// returns the new generation. In-flight queries keep their old
+    /// snapshot until their next request boundary.
+    pub(crate) fn reload(&self) -> Result<usize, ServeError> {
+        let path = self.model_path.lock().expect("model path lock").clone();
+        let ckpt = Checkpoint::load(&path).map_err(|e| ServeError::Checkpoint(e.to_string()))?;
+        let snap = ModelSnapshot::from_checkpoint(&ckpt, self.delta, self.backend)
+            .map_err(ServeError::Snapshot)?;
+        let generation = self.cell.publish(Arc::new(snap));
+        mmsb_obs::counter_add(obs_id::C_SERVE_RELOADS, 1);
+        Ok(generation)
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    threads: usize,
+    driver: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// Load the checkpoint at `model_path`, bind `cfg.addr`, and start
+    /// serving. Returns once the socket is bound and the first
+    /// snapshot is published — queries may be sent immediately.
+    pub fn start(model_path: &Path, cfg: &ServeConfig) -> Result<Self, ServeError> {
+        let ckpt =
+            Checkpoint::load(model_path).map_err(|e| ServeError::Checkpoint(e.to_string()))?;
+        let snap = ModelSnapshot::from_checkpoint(&ckpt, cfg.delta, cfg.backend)
+            .map_err(ServeError::Snapshot)?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let threads = cfg.threads.max(1);
+        let shared = Arc::new(ServerShared {
+            cell: SnapshotCell::new(Arc::new(snap)),
+            model_path: Mutex::new(model_path.to_path_buf()),
+            delta: cfg.delta,
+            backend: cfg.backend,
+            default_k: cfg.default_k,
+            inflight: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let driver = std::thread::Builder::new()
+            .name("mmsb-serve-driver".to_string())
+            .spawn(move || {
+                let pool = ThreadPool::new(threads);
+                pool.run(threads, |_worker, _chunk| {
+                    accept_loop(&listener, &worker_shared);
+                });
+            })?;
+        Ok(Self {
+            addr,
+            shared,
+            threads,
+            driver: Some(driver),
+        })
+    }
+
+    /// The bound address (the real port when `cfg.addr` asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Generation of the currently published snapshot.
+    pub fn generation(&self) -> usize {
+        self.shared.cell.generation()
+    }
+
+    /// Reload the checkpoint file and publish a new snapshot (the
+    /// in-process equivalent of `POST /v1/reload`); returns the new
+    /// generation.
+    pub fn reload(&self) -> Result<usize, ServeError> {
+        self.shared.reload()
+    }
+
+    /// Stop accepting, wake every worker, and join the pool.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        let Some(driver) = self.driver.take() else {
+            return;
+        };
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Unblock workers parked in `accept`. Each wake-up connection
+        // is accepted, sees the flag, and is dropped immediately.
+        for _ in 0..self.threads {
+            let _ = TcpStream::connect(self.addr);
+        }
+        let _ = driver.join();
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+impl std::fmt::Debug for ServeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeHandle")
+            .field("addr", &self.addr)
+            .field("threads", &self.threads)
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
+/// Read-buffer size per connection: must exceed the largest accepted
+/// request (head + body), or a pathological client could wedge the
+/// parser with a buffer that is full yet incomplete.
+const READ_BUF: usize = http::MAX_HEAD_BYTES + http::MAX_BODY_BYTES + 4096;
+/// How often an idle keep-alive connection re-checks shutdown.
+const READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                mmsb_obs::counter_add(obs_id::C_SERVE_CONNS, 1);
+                let _ = serve_connection(stream, shared);
+            }
+            // Transient accept errors (e.g. the peer aborted between
+            // SYN and accept) should not kill the worker.
+            Err(_) => std::thread::yield_now(),
+        }
+    }
+}
+
+/// Serve one connection until it closes, errors, or shutdown.
+///
+/// All scratch is allocated here, once: requests are parsed in place
+/// from `rbuf`, every buffered (pipelined) request is handled, and the
+/// batch of responses goes out in a single write.
+fn serve_connection(mut stream: TcpStream, shared: &ServerShared) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut cache = shared.cell.reader();
+    let mut rbuf = vec![0u8; READ_BUF];
+    let mut filled = 0usize;
+    let mut body = Vec::with_capacity(16 * 1024);
+    let mut out = Vec::with_capacity(64 * 1024);
+
+    loop {
+        // Drain every complete request currently buffered.
+        let mut consumed_total = 0;
+        let mut close = false;
+        out.clear();
+        loop {
+            match http::parse_request(&rbuf[consumed_total..filled]) {
+                Parsed::Complete { request, consumed } => {
+                    consumed_total += consumed;
+                    if !handlers::handle(shared, &mut cache, &request, &mut body, &mut out) {
+                        close = true;
+                        break;
+                    }
+                }
+                Parsed::Incomplete => break,
+                Parsed::Malformed => {
+                    http::write_response(
+                        &mut out,
+                        400,
+                        "application/json",
+                        b"{\"error\":\"malformed request\"}",
+                    );
+                    mmsb_obs::counter_add(obs_id::C_SERVE_REQUESTS, 1);
+                    mmsb_obs::counter_add(obs_id::C_SERVE_ERRORS, 1);
+                    close = true;
+                    break;
+                }
+            }
+        }
+        if consumed_total > 0 {
+            rbuf.copy_within(consumed_total..filled, 0);
+            filled -= consumed_total;
+        }
+        if !out.is_empty() {
+            stream.write_all(&out)?;
+        }
+        if close || shared.shutdown.load(Ordering::Acquire) {
+            return Ok(());
+        }
+
+        match stream.read(&mut rbuf[filled..]) {
+            Ok(0) => return Ok(()), // peer closed (or rbuf full: give up)
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                // Idle keep-alive connection: loop to re-check shutdown.
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

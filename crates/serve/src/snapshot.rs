@@ -1,0 +1,359 @@
+//! The immutable, query-optimized model snapshot.
+//!
+//! A [`mmsb_core::Checkpoint`] stores what training needs (f32 `pi`
+//! rows, `beta`, chain bookkeeping); a [`ModelSnapshot`] re-lays the
+//! model out for what serving needs, paying all per-query work once at
+//! build time:
+//!
+//! * `pi` widened to f64 and a second plane `pib[c] = pi[c] * beta[c]`,
+//!   so Eq. 7 is exactly two f64 dot products per edge query —
+//!   [`mmsb_simd::edge_dots`] computes both in one fused pass.
+//! * Per vertex, the community ids pre-sorted by descending membership
+//!   weight (ties by ascending community id), so a top-k query is a
+//!   slice of the first `k` entries — no per-request selection.
+//! * Per community, all vertex ids pre-sorted by descending weight
+//!   (ties by ascending vertex id), so a community listing walks the
+//!   prefix above its weight threshold and stops.
+//!
+//! Snapshots are immutable after construction and shared via
+//! `Arc<ModelSnapshot>` through [`crate::SnapshotCell`]; every accessor
+//! takes `&self` and allocates nothing.
+
+use mmsb_core::Checkpoint;
+use mmsb_simd::Backend;
+
+/// Why a checkpoint could not be turned into a servable snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The model has no vertices, no communities, or a `pi` plane
+    /// whose length is not a multiple of `beta.len()`.
+    EmptyModel,
+    /// A membership weight or community strength is not finite.
+    NonFinite {
+        /// Which plane the bad value sits in.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::EmptyModel => {
+                write!(f, "model is empty or the pi plane does not match beta")
+            }
+            SnapshotError::NonFinite { what } => {
+                write!(f, "model holds a non-finite {what} value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// An immutable trained model laid out for serving. See the module
+/// docs for the layout rationale.
+pub struct ModelSnapshot {
+    n: usize,
+    k: usize,
+    delta: f64,
+    backend: Backend,
+    /// `n x k` membership rows, widened to f64.
+    pi: Vec<f64>,
+    /// `n x k` rows of `pi[c] * beta[c]`.
+    pib: Vec<f64>,
+    /// Community strengths, length `k`.
+    beta: Vec<f64>,
+    /// `n x k`: per vertex, every community id sorted by descending
+    /// weight, ties by ascending community id.
+    topk: Vec<u32>,
+    /// `k x n`: per community, every vertex id sorted by descending
+    /// weight, ties by ascending vertex id.
+    members: Vec<u32>,
+}
+
+impl ModelSnapshot {
+    /// Build a snapshot from a checkpoint. `delta` is the
+    /// inter-community link probability for Eq. 7 (it is a sampler
+    /// hyperparameter, not part of the checkpoint artifact); `backend`
+    /// picks the SIMD backend for edge queries.
+    pub fn from_checkpoint(
+        ckpt: &Checkpoint,
+        delta: f64,
+        backend: Backend,
+    ) -> Result<Self, SnapshotError> {
+        Self::from_planes(ckpt.pi(), ckpt.beta(), delta, backend)
+    }
+
+    /// Build a snapshot from raw model planes: `pi` flat row-major
+    /// `n x k` (with `k = beta.len()` and `n = pi.len() / k`) and the
+    /// community strengths `beta`. [`Self::from_checkpoint`] is this
+    /// applied to a checkpoint's planes; callers with models from
+    /// elsewhere (or tests constructing exact tie cases) use it
+    /// directly.
+    pub fn from_planes(
+        src: &[f32],
+        beta_src: &[f64],
+        delta: f64,
+        backend: Backend,
+    ) -> Result<Self, SnapshotError> {
+        let k = beta_src.len();
+        if k == 0 || src.is_empty() || !src.len().is_multiple_of(k) {
+            return Err(SnapshotError::EmptyModel);
+        }
+        let n = src.len() / k;
+        let beta = beta_src.to_vec();
+        if beta.iter().any(|b| !b.is_finite()) {
+            return Err(SnapshotError::NonFinite { what: "beta" });
+        }
+        if src.iter().any(|p| !p.is_finite()) {
+            return Err(SnapshotError::NonFinite { what: "pi" });
+        }
+        let pi: Vec<f64> = src.iter().map(|&p| p as f64).collect();
+        let mut pib = vec![0.0f64; n * k];
+        for a in 0..n {
+            for c in 0..k {
+                pib[a * k + c] = pi[a * k + c] * beta[c];
+            }
+        }
+
+        // Per-vertex community order: descending weight, ties ascending id.
+        let mut topk = vec![0u32; n * k];
+        let mut order: Vec<u32> = Vec::with_capacity(k);
+        for a in 0..n {
+            let row = &pi[a * k..(a + 1) * k];
+            order.clear();
+            order.extend(0..k as u32);
+            order.sort_unstable_by(|&x, &y| {
+                row[y as usize]
+                    .total_cmp(&row[x as usize])
+                    .then(x.cmp(&y))
+            });
+            topk[a * k..(a + 1) * k].copy_from_slice(&order);
+        }
+
+        // Per-community member order: descending weight, ties ascending id.
+        let mut members = vec![0u32; k * n];
+        let mut vorder: Vec<u32> = Vec::with_capacity(n);
+        for c in 0..k {
+            vorder.clear();
+            vorder.extend(0..n as u32);
+            vorder.sort_unstable_by(|&x, &y| {
+                pi[x as usize * k + c]
+                    .total_cmp(&pi[y as usize * k + c])
+                    .reverse()
+                    .then(x.cmp(&y))
+            });
+            members[c * n..(c + 1) * n].copy_from_slice(&vorder);
+        }
+
+        Ok(Self {
+            n,
+            k,
+            delta,
+            backend,
+            pi,
+            pib,
+            beta,
+            topk,
+            members,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of communities.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The inter-community link probability this snapshot serves
+    /// Eq. 7 with.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Community strengths `beta`, length [`Self::k`].
+    pub fn beta(&self) -> &[f64] {
+        &self.beta
+    }
+
+    /// Membership weight of vertex `v` in community `c`.
+    ///
+    /// # Panics
+    /// Panics if `v` or `c` is out of range.
+    pub fn weight(&self, v: usize, c: usize) -> f64 {
+        assert!(v < self.n && c < self.k);
+        self.pi[v * self.k + c]
+    }
+
+    /// Every community id, sorted by descending membership weight of
+    /// vertex `v` (ties by ascending community id). A top-k query is
+    /// the first `k` entries.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn communities_by_weight(&self, v: usize) -> &[u32] {
+        assert!(v < self.n, "vertex {v} out of range");
+        &self.topk[v * self.k..(v + 1) * self.k]
+    }
+
+    /// Every vertex id, sorted by descending membership weight in
+    /// community `c` (ties by ascending vertex id).
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    pub fn members_by_weight(&self, c: usize) -> &[u32] {
+        assert!(c < self.k, "community {c} out of range");
+        &self.members[c * self.n..(c + 1) * self.n]
+    }
+
+    /// Eq. 7 link probability for the pair `(a, b)`:
+    /// `sum_c pi_a pi_b beta_c + (1 - sum_c pi_a pi_b) * delta`, with
+    /// the same-community mass clamped to 1 against f32 rounding. The
+    /// two sums run as one fused [`mmsb_simd::edge_dots`] pass over the
+    /// precomputed `pi`/`pib` planes.
+    ///
+    /// # Panics
+    /// Panics if `a` or `b` is out of range.
+    pub fn edge_likelihood(&self, a: usize, b: usize) -> f64 {
+        assert!(a < self.n && b < self.n, "vertex out of range");
+        let k = self.k;
+        let (same, linked) = mmsb_simd::edge_dots(
+            self.backend,
+            &self.pi[a * k..(a + 1) * k],
+            &self.pib[a * k..(a + 1) * k],
+            &self.pi[b * k..(b + 1) * k],
+        );
+        linked + (1.0 - same.min(1.0)) * self.delta
+    }
+}
+
+impl std::fmt::Debug for ModelSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelSnapshot")
+            .field("n", &self.n)
+            .field("k", &self.k)
+            .field("delta", &self.delta)
+            .field("backend", &self.backend)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmsb_core::{SamplerConfig, SequentialSampler};
+    use mmsb_graph::generate::planted::{generate_planted, PlantedConfig};
+    use mmsb_graph::heldout::HeldOut;
+    use mmsb_rand::Xoshiro256PlusPlus;
+
+    fn trained_checkpoint(k: usize, seed: u64) -> Checkpoint {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let gen = generate_planted(
+            &PlantedConfig {
+                num_vertices: 60,
+                num_communities: k,
+                mean_community_size: 22.0,
+                memberships_per_vertex: 1.2,
+                internal_degree: 8.0,
+                background_degree: 0.5,
+            },
+            &mut rng,
+        );
+        let (graph, heldout) = HeldOut::split(&gen.graph, 30, &mut rng);
+        let mut s =
+            SequentialSampler::new(graph, heldout, SamplerConfig::new(k).with_seed(seed)).unwrap();
+        s.run(15);
+        s.checkpoint()
+    }
+
+    #[test]
+    fn edge_likelihood_matches_core_eval() {
+        let ckpt = trained_checkpoint(3, 7);
+        let delta = 1e-5;
+        let snap = ModelSnapshot::from_checkpoint(&ckpt, delta, Backend::detect()).unwrap();
+        let k = ckpt.k();
+        for (a, b) in [(0usize, 1usize), (3, 40), (59, 59), (12, 0)] {
+            let want = mmsb_core::eval::edge_likelihood(
+                &ckpt.pi()[a * k..(a + 1) * k],
+                &ckpt.pi()[b * k..(b + 1) * k],
+                ckpt.beta(),
+                delta,
+            );
+            let got = snap.edge_likelihood(a, b);
+            // The snapshot associates (pi*beta)*pi instead of
+            // (pi*pi)*beta, so agreement is to rounding, not bitwise.
+            assert!(
+                (got - want).abs() <= 1e-12 * (1.0 + want.abs()),
+                "({a},{b}): {got} vs {want}"
+            );
+            assert!((0.0..=1.0).contains(&got), "({a},{b}): p = {got}");
+        }
+    }
+
+    #[test]
+    fn topk_order_is_descending_with_id_tiebreak() {
+        let ckpt = trained_checkpoint(4, 3);
+        let snap = ModelSnapshot::from_checkpoint(&ckpt, 1e-5, Backend::Scalar).unwrap();
+        for v in 0..snap.n() {
+            let order = snap.communities_by_weight(v);
+            assert_eq!(order.len(), snap.k());
+            for w in order.windows(2) {
+                let (w0, w1) = (
+                    snap.weight(v, w[0] as usize),
+                    snap.weight(v, w[1] as usize),
+                );
+                assert!(
+                    w0 > w1 || (w0 == w1 && w[0] < w[1]),
+                    "vertex {v}: ({}, {w0}) before ({}, {w1})",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn member_lists_are_descending_and_complete() {
+        let ckpt = trained_checkpoint(3, 11);
+        let snap = ModelSnapshot::from_checkpoint(&ckpt, 1e-5, Backend::Scalar).unwrap();
+        for c in 0..snap.k() {
+            let members = snap.members_by_weight(c);
+            assert_eq!(members.len(), snap.n());
+            let mut seen = vec![false; snap.n()];
+            for w in members.windows(2) {
+                let (w0, w1) = (
+                    snap.weight(w[0] as usize, c),
+                    snap.weight(w[1] as usize, c),
+                );
+                assert!(w0 > w1 || (w0 == w1 && w[0] < w[1]), "community {c}");
+            }
+            for &m in members {
+                seen[m as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "community {c} misses a vertex");
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_on_edge_likelihood() {
+        let ckpt = trained_checkpoint(5, 23);
+        let reference = ModelSnapshot::from_checkpoint(&ckpt, 1e-4, Backend::Scalar).unwrap();
+        for b in [Backend::Sse2, Backend::Avx2, Backend::Neon] {
+            if !b.available() {
+                continue;
+            }
+            let snap = ModelSnapshot::from_checkpoint(&ckpt, 1e-4, b).unwrap();
+            for (a, v) in [(0usize, 5usize), (10, 59), (33, 33)] {
+                let (got, want) = (snap.edge_likelihood(a, v), reference.edge_likelihood(a, v));
+                assert!(
+                    (got - want).abs() <= 1e-12 * (1.0 + want.abs()),
+                    "{b}: ({a},{v})"
+                );
+            }
+        }
+    }
+}

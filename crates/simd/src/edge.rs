@@ -1,0 +1,146 @@
+//! Vectorized Eq. 7 edge-likelihood dot products for the serving layer.
+//!
+//! A served model snapshot stores each vertex's membership row twice:
+//! `pi` widened to f64 and `pib[c] = pi[c] * beta[c]` precomputed at
+//! snapshot build. Eq. 7 for a pair `(a, b)` then needs exactly two dot
+//! products over community index `c`:
+//!
+//! ```text
+//! same   = sum_c pi_a[c]  * pi_b[c]
+//! linked = sum_c pib_a[c] * pi_b[c]   // == sum_c pi_a pi_b beta
+//! p      = linked + (1 - min(same, 1)) * delta
+//! ```
+//!
+//! [`edge_dots`] computes both sums in one fused pass so `pi_b` is
+//! loaded once per lane. Horizontal reduction uses the butterfly order
+//! documented in [`crate::lanes`], with tail elements folded in
+//! ascending index order — the same determinism contract as every other
+//! kernel in this crate.
+
+use crate::backend::Backend;
+use crate::lanes::{sfma, LaneF64, ScalarLanes};
+
+/// Width-generic dual dot product: returns
+/// `(sum_c pi_a[c] * pi_b[c], sum_c pib_a[c] * pi_b[c])` over
+/// `c in 0..pi_a.len()`.
+#[inline(always)]
+pub fn edge_dots_with<L: LaneF64>(l: L, pi_a: &[f64], pib_a: &[f64], pi_b: &[f64]) -> (f64, f64) {
+    let k = pi_a.len();
+    assert!(
+        pib_a.len() >= k && pi_b.len() >= k,
+        "edge rows shorter than K"
+    );
+    let w = L::LANES;
+    let mut same_acc = l.zero();
+    let mut linked_acc = l.zero();
+    let mut c = 0;
+    while c + w <= k {
+        let pb = l.load(pi_b, c);
+        same_acc = l.fma(l.load(pi_a, c), pb, same_acc);
+        linked_acc = l.fma(l.load(pib_a, c), pb, linked_acc);
+        c += w;
+    }
+    let mut same = l.hsum(same_acc);
+    let mut linked = l.hsum(linked_acc);
+    while c < k {
+        same = sfma::<L>(pi_a[c], pi_b[c], same);
+        linked = sfma::<L>(pib_a[c], pi_b[c], linked);
+        c += 1;
+    }
+    (same, linked)
+}
+
+/// Backend-dispatched [`edge_dots_with`].
+pub fn edge_dots(backend: Backend, pi_a: &[f64], pib_a: &[f64], pi_b: &[f64]) -> (f64, f64) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 if backend.available() => {
+            // SAFETY: availability of avx2+fma was just re-verified on
+            // the running CPU, discharging the target-feature contract.
+            unsafe { crate::x86::edge_dots_avx2(pi_a, pib_a, pi_b) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => edge_dots_with(crate::x86::Sse2Lanes::mint(), pi_a, pib_a, pi_b),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => edge_dots_with(crate::neon::NeonLanes::mint(), pi_a, pib_a, pi_b),
+        _ => edge_dots_with(ScalarLanes::default(), pi_a, pib_a, pi_b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::Lanes;
+
+    fn setup(k: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pi_a: Vec<f64> = (0..k).map(|_| 0.05 + next()).collect();
+        let pi_b: Vec<f64> = (0..k).map(|_| 0.05 + next()).collect();
+        let beta: Vec<f64> = (0..k).map(|_| next()).collect();
+        let pib_a: Vec<f64> = (0..k).map(|c| pi_a[c] * beta[c]).collect();
+        (pi_a, pib_a, pi_b)
+    }
+
+    fn reference(pi_a: &[f64], pib_a: &[f64], pi_b: &[f64]) -> (f64, f64) {
+        let mut same = 0.0;
+        let mut linked = 0.0;
+        for c in 0..pi_a.len() {
+            same += pi_a[c] * pi_b[c];
+            linked += pib_a[c] * pi_b[c];
+        }
+        (same, linked)
+    }
+
+    #[test]
+    fn matches_reference_all_widths() {
+        for &k in &[0usize, 1, 2, 3, 4, 7, 8, 16, 33, 257] {
+            let (pi_a, pib_a, pi_b) = setup(k, k as u64 + 5);
+            let (es, el) = reference(&pi_a, &pib_a, &pi_b);
+            for width_tag in 0..3 {
+                let (s, l) = match width_tag {
+                    0 => edge_dots_with(Lanes::<1, false>, &pi_a, &pib_a, &pi_b),
+                    1 => edge_dots_with(Lanes::<2, true>, &pi_a, &pib_a, &pi_b),
+                    _ => edge_dots_with(Lanes::<4, true>, &pi_a, &pib_a, &pi_b),
+                };
+                let tol = 1e-12 * (1.0 + es.abs() + el.abs());
+                assert!(
+                    (s - es).abs() < tol && (l - el).abs() < tol,
+                    "k={k} width_tag={width_tag}: ({s}, {l}) vs ({es}, {el})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_backends_agree_with_scalar() {
+        let (pi_a, pib_a, pi_b) = setup(19, 42);
+        let (rs, rl) = edge_dots(Backend::Scalar, &pi_a, &pib_a, &pi_b);
+        for b in [Backend::Sse2, Backend::Avx2, Backend::Neon] {
+            if !b.available() {
+                continue;
+            }
+            let (s, l) = edge_dots(b, &pi_a, &pib_a, &pi_b);
+            let tol = 1e-12 * (1.0 + rs.abs() + rl.abs());
+            assert!(
+                (s - rs).abs() < tol && (l - rl).abs() < tol,
+                "backend {b}: ({s}, {l}) vs ({rs}, {rl})"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_backend_is_deterministic() {
+        let (pi_a, pib_a, pi_b) = setup(33, 7);
+        let b = Backend::detect();
+        let first = edge_dots(b, &pi_a, &pib_a, &pi_b);
+        for _ in 0..10 {
+            assert_eq!(edge_dots(b, &pi_a, &pib_a, &pi_b), first);
+        }
+    }
+}

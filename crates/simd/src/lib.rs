@@ -47,6 +47,7 @@
 #![deny(missing_docs)]
 
 mod backend;
+pub mod edge;
 pub mod lanes;
 pub mod math;
 mod neon;
@@ -55,6 +56,7 @@ pub mod theta;
 mod x86;
 
 pub use backend::{Backend, PolicyError, SimdPolicy};
+pub use edge::edge_dots;
 pub use math::{polar_normal, ulp_distance, vexp, vln};
 pub use phi::{phi_gradient, sgrld_step, PhiScratch};
 pub use theta::{

@@ -473,6 +473,12 @@ pub fn theta_accumulate_pair_avx2(
     crate::theta::theta_accumulate_pair_with(avx2_token!(), scratch, pi_a, pi_b, y, weight)
 }
 
+/// AVX2 instantiation of [`crate::edge::edge_dots_with`].
+#[target_feature(enable = "avx2", enable = "fma")]
+pub fn edge_dots_avx2(pi_a: &[f64], pib_a: &[f64], pi_b: &[f64]) -> (f64, f64) {
+    crate::edge::edge_dots_with(avx2_token!(), pi_a, pib_a, pi_b)
+}
+
 /// AVX2 instantiation of [`crate::math::vexp_with`].
 #[target_feature(enable = "avx2", enable = "fma")]
 pub fn vexp_avx2(x: &[f64], out: &mut [f64]) {

@@ -58,3 +58,14 @@ repo="$PWD"
 # Complementary real-execution race check; skips cleanly when the
 # nightly TSan prerequisites are absent.
 bash scripts/sanitize.sh
+
+# Serving-layer contracts: the snapshot cell's publish/refresh protocol
+# model-checked across interleavings, the end-to-end HTTP suite (train →
+# checkpoint → ephemeral-port server → every endpoint → reload → obs
+# counters), reload-under-load (no query dropped across 50 republishes),
+# the zero-allocation steady state of the query path, and the throughput
+# smoke run (bench_serve --quick gates at the generous CI bound; the
+# committed BENCH_serve.json carries the full-run >= 100k q/s figure).
+cargo test -q --offline -p mmsb-serve
+cargo test -q --offline -p mmsb-check --test model_snapshot_cell
+(cd "$(mktemp -d)" && "$repo/target/release/bench_serve" --quick)
