@@ -1,17 +1,49 @@
 //! Workspace invariant lint. Run from anywhere in the repo:
 //!
 //! ```text
-//! cargo run -p mmsb-check --bin xlint
+//! cargo run -p mmsb-check --bin xlint              # human-readable
+//! cargo run -p mmsb-check --bin xlint -- --json    # machine-readable
+//! cargo run -p mmsb-check --bin xlint -- --explain hot-path-panic
+//! cargo run -p mmsb-check --bin xlint -- --explain # full catalogue
+//! xlint --json | xlint --validate-schema           # CI schema check
 //! ```
 //!
-//! Exits non-zero (printing one `file:line: [rule] message` per
-//! finding) if any unsafe-code invariant is violated; see
-//! `mmsb_check::lint` for the rule set.
+//! Exits non-zero (one `file:line: [rule] message` per finding, or the
+//! JSON document with `--json`) if any invariant is violated; see
+//! `mmsb_check::lint` for the analyzer and DESIGN.md §14 for the
+//! architecture.
 
+use std::io::Read as _;
 use std::path::Path;
 use std::process::ExitCode;
 
+use mmsb_check::lint::{json, rules};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: xlint [--json | --explain [<rule>] | --validate-schema]\n\
+         \n\
+         (no args)          lint the workspace, print human-readable findings\n\
+         --json             lint the workspace, print the versioned JSON document\n\
+         --explain          list every rule with its one-line summary\n\
+         --explain <rule>   print the full rationale for one rule\n\
+         --validate-schema  read a --json document from stdin and check it"
+    );
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => lint(false),
+        Some("--json") if args.len() == 1 => lint(true),
+        Some("--explain") if args.len() <= 2 => explain(args.get(1).map(String::as_str)),
+        Some("--validate-schema") if args.len() == 1 => validate(),
+        _ => usage(),
+    }
+}
+
+fn lint(as_json: bool) -> ExitCode {
     // The binary lives at crates/check; the workspace root is two up.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
@@ -19,6 +51,14 @@ fn main() -> ExitCode {
         .expect("crates/check has a workspace root two levels up")
         .to_path_buf();
     let violations = mmsb_check::lint::lint_workspace(&root);
+    if as_json {
+        println!("{}", json::render(&violations));
+        return if violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if violations.is_empty() {
         println!("xlint: workspace clean");
         ExitCode::SUCCESS
@@ -28,5 +68,62 @@ fn main() -> ExitCode {
         }
         println!("xlint: {} violation(s)", violations.len());
         ExitCode::FAILURE
+    }
+}
+
+fn explain(rule: Option<&str>) -> ExitCode {
+    match rule {
+        None => {
+            println!("xlint rules ([s] = suppressible inline):\n");
+            for r in rules::registry() {
+                let s = if r.suppressible { "[s] " } else { "    " };
+                println!("  {s}{:<24} {}", r.id, r.summary);
+            }
+            println!(
+                "\nSuppress with `// xlint: allow(<rule>) — <justification>` directly\n\
+                 above the item (covers its whole span) or the offending line.\n\
+                 The justification is mandatory; unused suppressions fail the lint."
+            );
+            ExitCode::SUCCESS
+        }
+        Some(id) => match rules::rule_by_id(id) {
+            Some(r) => {
+                println!("{} — {}\n", r.id, r.summary);
+                println!("{}", r.explain);
+                if r.suppressible {
+                    println!(
+                        "\nSuppressible: // xlint: allow({}) — <justification>",
+                        r.id
+                    );
+                } else {
+                    println!(
+                        "\nNot suppressible inline; policy lives in crates/check/src/lint/rules.rs."
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("xlint: unknown rule `{id}`; run `xlint --explain` for the catalogue");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+fn validate() -> ExitCode {
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("xlint: cannot read stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    match json::validate_schema(&input) {
+        Ok(n) => {
+            println!("xlint: schema ok ({n} violation(s) in document)");
+            ExitCode::SUCCESS
+        }
+        Err(why) => {
+            eprintln!("xlint: schema violation: {why}");
+            ExitCode::FAILURE
+        }
     }
 }

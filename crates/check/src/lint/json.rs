@@ -1,0 +1,366 @@
+//! Machine-readable diagnostics: `--json` rendering and the tiny JSON
+//! reader behind `--validate-schema`.
+//!
+//! The schema is deliberately small and versioned:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "count": 2,
+//!   "violations": [
+//!     {"file": "crates/x/src/a.rs", "line": 3, "rule": "hot-path-panic",
+//!      "message": "..."}
+//!   ]
+//! }
+//! ```
+//!
+//! `count` duplicates `violations.len()` on purpose: a consumer that
+//! truncates the stream (broken pipe, partial read) fails the cross
+//! check instead of silently under-reporting. The in-tree parser exists
+//! so `scripts/tier1.sh` can pipe `xlint --json | xlint
+//! --validate-schema` with zero external tooling (no jq, no serde).
+
+use super::Violation;
+use std::fmt::Write as _;
+
+/// Current schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Render violations to the versioned JSON document.
+pub fn render(violations: &[Violation]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"version\":{SCHEMA_VERSION},\"count\":{},\"violations\":[",
+        violations.len()
+    );
+    for (k, v) in violations.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+            escape(&v.file),
+            v.line,
+            escape(v.rule),
+            escape(&v.message)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed JSON value — only what the schema check needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Key order preserved; duplicate keys keep the last value.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Strict enough for round-tripping [`render`]
+/// output; errors carry a byte offset for debugging.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let v = parse_value(&b, &mut i)?;
+    skip_ws(&b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at offset {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[char], i: &mut usize) {
+    while *i < b.len() && b[*i].is_ascii_whitespace() {
+        *i += 1;
+    }
+}
+
+fn expect(b: &[char], i: &mut usize, c: char) -> Result<(), String> {
+    skip_ws(b, i);
+    if *i < b.len() && b[*i] == c {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{c}` at offset {i}", i = *i))
+    }
+}
+
+fn parse_value(b: &[char], i: &mut usize) -> Result<Json, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some('{') => {
+            *i += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&'}') {
+                *i += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, i);
+                let key = match parse_value(b, i)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at offset {i}", i = *i)),
+                };
+                expect(b, i, ':')?;
+                let val = parse_value(b, i)?;
+                pairs.push((key, val));
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(',') => *i += 1,
+                    Some('}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {i}", i = *i)),
+                }
+            }
+        }
+        Some('[') => {
+            *i += 1;
+            let mut items = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&']') {
+                *i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(',') => *i += 1,
+                    Some(']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {i}", i = *i)),
+                }
+            }
+        }
+        Some('"') => {
+            *i += 1;
+            let mut s = String::new();
+            while *i < b.len() {
+                match b[*i] {
+                    '"' => {
+                        *i += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    '\\' => {
+                        *i += 1;
+                        match b.get(*i) {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('/') => s.push('/'),
+                            Some('n') => s.push('\n'),
+                            Some('r') => s.push('\r'),
+                            Some('t') => s.push('\t'),
+                            Some('b') => s.push('\u{8}'),
+                            Some('f') => s.push('\u{c}'),
+                            Some('u') => {
+                                let hex: String = b
+                                    .get(*i + 1..*i + 5)
+                                    .ok_or("truncated \\u escape")?
+                                    .iter()
+                                    .collect();
+                                let code = u32::from_str_radix(&hex, 16)
+                                    .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *i += 4;
+                            }
+                            _ => return Err(format!("bad escape at offset {i}", i = *i)),
+                        }
+                        *i += 1;
+                    }
+                    c => {
+                        s.push(c);
+                        *i += 1;
+                    }
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+        Some(c) if *c == '-' || c.is_ascii_digit() => {
+            let start = *i;
+            *i += 1;
+            while *i < b.len()
+                && (b[*i].is_ascii_digit()
+                    || b[*i] == '.'
+                    || b[*i] == 'e'
+                    || b[*i] == 'E'
+                    || b[*i] == '+'
+                    || b[*i] == '-')
+            {
+                *i += 1;
+            }
+            let text: String = b[start..*i].iter().collect();
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number `{text}`"))
+        }
+        Some('t') if b.get(*i..*i + 4).map(|s| s.iter().collect::<String>()) == Some("true".into()) => {
+            *i += 4;
+            Ok(Json::Bool(true))
+        }
+        Some('f') if b.get(*i..*i + 5).map(|s| s.iter().collect::<String>()) == Some("false".into()) => {
+            *i += 5;
+            Ok(Json::Bool(false))
+        }
+        Some('n') if b.get(*i..*i + 4).map(|s| s.iter().collect::<String>()) == Some("null".into()) => {
+            *i += 4;
+            Ok(Json::Null)
+        }
+        _ => Err(format!("unexpected character at offset {i}", i = *i)),
+    }
+}
+
+/// Validate a `--json` document against the diagnostics schema.
+/// Returns the violation count on success.
+pub fn validate_schema(src: &str) -> Result<usize, String> {
+    let doc = parse(src)?;
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or("missing or non-integer `version`")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema version {version} != expected {SCHEMA_VERSION}"
+        ));
+    }
+    let count = doc
+        .get("count")
+        .and_then(Json::as_u64)
+        .ok_or("missing or non-integer `count`")?;
+    let Some(Json::Arr(items)) = doc.get("violations") else {
+        return Err("missing `violations` array".to_string());
+    };
+    if count as usize != items.len() {
+        return Err(format!(
+            "`count` is {count} but `violations` has {} entries (truncated stream?)",
+            items.len()
+        ));
+    }
+    for (k, item) in items.iter().enumerate() {
+        for key in ["file", "rule", "message"] {
+            if item.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("violations[{k}].{key} missing or not a string"));
+            }
+        }
+        if item.get("line").and_then(Json::as_u64).is_none() {
+            return Err(format!("violations[{k}].line missing or not an integer"));
+        }
+    }
+    Ok(items.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vio(file: &str, line: usize, rule: &'static str, msg: &str) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            rule,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn render_round_trips_through_validate() {
+        let vs = vec![
+            vio("crates/a/src/x.rs", 3, "hot-path-panic", "`.unwrap()` in hot path"),
+            vio("crates/b/src/y.rs", 7, "lock-order", "quote \" backslash \\ tab\t"),
+        ];
+        let doc = render(&vs);
+        assert_eq!(validate_schema(&doc), Ok(2));
+        let parsed = parse(&doc).unwrap();
+        let Some(Json::Arr(items)) = parsed.get("violations") else {
+            panic!("violations not an array");
+        };
+        assert_eq!(
+            items[1].get("message").and_then(Json::as_str),
+            Some("quote \" backslash \\ tab\t")
+        );
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        assert_eq!(validate_schema(&render(&[])), Ok(0));
+    }
+
+    #[test]
+    fn count_mismatch_is_rejected() {
+        let doc = "{\"version\":1,\"count\":2,\"violations\":[]}";
+        assert!(validate_schema(doc).unwrap_err().contains("truncated"));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let doc = "{\"version\":9,\"count\":0,\"violations\":[]}";
+        assert!(validate_schema(doc).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        let doc = "{\"version\":1,\"count\":1,\"violations\":[{\"file\":\"a\",\"line\":1,\"rule\":\"r\"}]}";
+        assert!(validate_schema(doc).unwrap_err().contains("message"));
+    }
+
+    #[test]
+    fn parser_rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+}

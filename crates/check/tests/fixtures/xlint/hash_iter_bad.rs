@@ -1,0 +1,14 @@
+//! Fixture: std hash containers in a determinism-scoped crate —
+//! iteration order varies run to run.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> (usize, usize) {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    let mut seen: HashSet<u32> = HashSet::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+        seen.insert(x);
+    }
+    (counts.len(), seen.len())
+}

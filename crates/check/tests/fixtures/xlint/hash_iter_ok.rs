@@ -1,0 +1,14 @@
+//! Fixture: the conforming twin of `hash_iter_bad.rs` — ordered
+//! containers, so iteration order is deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(xs: &[u32]) -> (usize, usize) {
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+        seen.insert(x);
+    }
+    (counts.len(), seen.len())
+}

@@ -1,0 +1,9 @@
+//! Fixture: one of each hot-path-alloc class (path, macro, method).
+
+pub fn describe(k: usize) -> (Vec<f64>, String) {
+    let buf = Vec::new();
+    let zeros = vec![0.0; k];
+    let label = format!("k={k}");
+    let _ = zeros.iter().copied().collect::<Vec<f64>>();
+    (buf, label)
+}

@@ -1,0 +1,9 @@
+//! Fixture: the conforming twin of `hot_path_alloc_bad.rs` — the caller
+//! provides the buffer; the hot path only fills it.
+
+pub fn fill(buf: &mut [f64], x: f64) -> usize {
+    for slot in buf.iter_mut() {
+        *slot = x;
+    }
+    buf.len()
+}

@@ -1,0 +1,10 @@
+//! Fixture: one of each hot-path-panic class (method, macro, indexing).
+
+pub fn lookup(xs: &[f64], i: usize) -> f64 {
+    let first = xs.first().unwrap();
+    let v = xs[i];
+    if !v.is_finite() {
+        panic!("non-finite value");
+    }
+    first + v
+}

@@ -1,0 +1,11 @@
+//! Fixture: the conforming twin of `hot_path_panic_bad.rs` — fallible
+//! access instead of panicking shortcuts.
+
+pub fn lookup(xs: &[f64], i: usize) -> Option<f64> {
+    let first = xs.first()?;
+    let v = xs.get(i)?;
+    if !v.is_finite() {
+        return None;
+    }
+    Some(first + v)
+}

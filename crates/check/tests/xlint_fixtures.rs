@@ -1,0 +1,130 @@
+//! Fixture gate for the four item-level rules (ISSUE satellite 3): one
+//! violating and one conforming fixture per rule, with the violating
+//! side pinned to the *exact* `--json` document — file, line, rule, and
+//! message text. A wording or line-attribution drift in any rule fails
+//! here, not in a downstream consumer.
+
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/xlint")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("fixture {}: {e}", p.display()))
+}
+
+/// Lint a fixture as if it lived at `rel`, returning the `--json`
+/// document its violations render to.
+fn lint_as(rel: &str, name: &str) -> String {
+    let violations = mmsb_check::lint::lint_file(rel, &fixture(name));
+    let doc = mmsb_check::lint::json::render(&violations);
+    // Whatever we assert on below is also schema-valid by construction.
+    mmsb_check::lint::json::validate_schema(&doc).expect("fixture document validates");
+    doc
+}
+
+const EMPTY: &str = "{\"version\":1,\"count\":0,\"violations\":[]}";
+
+#[test]
+fn hot_path_panic_fixture_pair() {
+    assert_eq!(
+        lint_as("crates/simd/src/math.rs", "hot_path_panic_bad.rs"),
+        "{\"version\":1,\"count\":3,\"violations\":[\
+         {\"file\":\"crates/simd/src/math.rs\",\"line\":4,\"rule\":\"hot-path-panic\",\
+         \"message\":\"`.unwrap()` in a hot-path module can panic; handle the error or \
+         prove it impossible and suppress with justification\"},\
+         {\"file\":\"crates/simd/src/math.rs\",\"line\":5,\"rule\":\"hot-path-panic\",\
+         \"message\":\"slice indexing after `xs` in a hot-path module panics on \
+         out-of-bounds; use `get`, restructure, or suppress with a bounds proof\"},\
+         {\"file\":\"crates/simd/src/math.rs\",\"line\":7,\"rule\":\"hot-path-panic\",\
+         \"message\":\"`panic!` in a hot-path module aborts the worker; return an error \
+         instead\"}]}"
+    );
+    assert_eq!(lint_as("crates/simd/src/math.rs", "hot_path_panic_ok.rs"), EMPTY);
+}
+
+#[test]
+fn hot_path_alloc_fixture_pair() {
+    assert_eq!(
+        lint_as("crates/simd/src/math.rs", "hot_path_alloc_bad.rs"),
+        "{\"version\":1,\"count\":4,\"violations\":[\
+         {\"file\":\"crates/simd/src/math.rs\",\"line\":4,\"rule\":\"hot-path-alloc\",\
+         \"message\":\"`Vec::new` allocates in a hot-path module; reuse a preallocated \
+         buffer, or suppress if this is setup-time construction\"},\
+         {\"file\":\"crates/simd/src/math.rs\",\"line\":5,\"rule\":\"hot-path-alloc\",\
+         \"message\":\"`vec!` allocates in a hot-path module; reuse a preallocated \
+         buffer, or suppress if this is setup-time construction\"},\
+         {\"file\":\"crates/simd/src/math.rs\",\"line\":6,\"rule\":\"hot-path-alloc\",\
+         \"message\":\"`format!` allocates in a hot-path module; reuse a preallocated \
+         buffer, or suppress if this is setup-time construction\"},\
+         {\"file\":\"crates/simd/src/math.rs\",\"line\":7,\"rule\":\"hot-path-alloc\",\
+         \"message\":\"`.collect()` allocates in a hot-path module; write into a caller \
+         buffer instead\"}]}"
+    );
+    assert_eq!(lint_as("crates/simd/src/math.rs", "hot_path_alloc_ok.rs"), EMPTY);
+}
+
+#[test]
+fn lock_order_fixture_pair() {
+    assert_eq!(
+        lint_as("crates/pool/src/lib.rs", "lock_order_bad.rs"),
+        "{\"version\":1,\"count\":1,\"violations\":[\
+         {\"file\":\"crates/pool/src/lib.rs\",\"line\":14,\"rule\":\"lock-order\",\
+         \"message\":\"fn `swapped` acquires `state` (rank 0) after `current` (rank 2); \
+         the declared order is state < model_path < current\"}]}"
+    );
+    assert_eq!(lint_as("crates/pool/src/lib.rs", "lock_order_ok.rs"), EMPTY);
+}
+
+#[test]
+fn hash_iter_fixture_pair() {
+    const MSG_MAP: &str = "std `HashMap` in a result-affecting crate: its per-process \
+         hasher seed makes iteration order nondeterministic; use BTreeMap/BTreeSet or \
+         `mmsb_graph::FxHashMap`/`FxHashSet`";
+    const MSG_SET: &str = "std `HashSet` in a result-affecting crate: its per-process \
+         hasher seed makes iteration order nondeterministic; use BTreeMap/BTreeSet or \
+         `mmsb_graph::FxHashMap`/`FxHashSet`";
+    let entry = |line: usize, msg: &str| {
+        format!(
+            "{{\"file\":\"crates/core/src/graph.rs\",\"line\":{line},\
+             \"rule\":\"hash-iter\",\"message\":\"{msg}\"}}"
+        )
+    };
+    // Two tokens on the import line, two on each declaration line
+    // (type ascription + constructor path).
+    let expected = format!(
+        "{{\"version\":1,\"count\":6,\"violations\":[{},{},{},{},{},{}]}}",
+        entry(4, MSG_MAP),
+        entry(4, MSG_SET),
+        entry(7, MSG_MAP),
+        entry(7, MSG_MAP),
+        entry(8, MSG_SET),
+        entry(8, MSG_SET),
+    );
+    assert_eq!(
+        lint_as("crates/core/src/graph.rs", "hash_iter_bad.rs"),
+        expected
+    );
+    assert_eq!(lint_as("crates/core/src/graph.rs", "hash_iter_ok.rs"), EMPTY);
+}
+
+/// An item-level suppression with a justification waives the fixture's
+/// violations and counts as used (no unused-suppression backlash).
+#[test]
+fn suppression_waives_the_fixture_violation() {
+    // Replace the fixture's doc comment with a suppression directly
+    // above the fn, so the whole item span is covered.
+    let src = format!(
+        "// xlint: allow(hot-path-panic) — fixture exercise: bounds are a test invariant\n{}",
+        fixture("hot_path_panic_bad.rs")
+            .lines()
+            .skip(2)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let violations = mmsb_check::lint::lint_file("crates/simd/src/math.rs", &src);
+    assert!(
+        violations.is_empty(),
+        "suppressed fixture must be clean: {violations:?}"
+    );
+}

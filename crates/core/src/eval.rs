@@ -7,7 +7,7 @@
 
 use mmsb_graph::generate::GroundTruth;
 use mmsb_graph::VertexId;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The paper's Eq. 7 edge likelihood, the one shared implementation
 /// behind held-out perplexity ([`crate::link_probability`]),
@@ -49,7 +49,7 @@ pub fn f1_of_sets(detected: &[VertexId], truth: &[VertexId]) -> f64 {
     if detected.is_empty() || truth.is_empty() {
         return 0.0;
     }
-    let t: HashSet<_> = truth.iter().collect();
+    let t: BTreeSet<_> = truth.iter().collect();
     let hits = detected.iter().filter(|v| t.contains(v)).count() as f64;
     if hits == 0.0 {
         return 0.0;
@@ -64,8 +64,8 @@ pub fn jaccard_of_sets(a: &[VertexId], b: &[VertexId]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
-    let sa: HashSet<_> = a.iter().collect();
-    let sb: HashSet<_> = b.iter().collect();
+    let sa: BTreeSet<_> = a.iter().collect();
+    let sb: BTreeSet<_> = b.iter().collect();
     let inter = sa.intersection(&sb).count() as f64;
     let union = sa.union(&sb).count() as f64;
     inter / union
@@ -126,7 +126,7 @@ fn h2(p: f64) -> f64 {
 /// Kertész (2009).
 fn conditional_entropy_norm(x: &[Vec<VertexId>], y: &[Vec<VertexId>], n: usize) -> f64 {
     let nf = n as f64;
-    let y_sets: Vec<HashSet<&VertexId>> = y.iter().map(|c| c.iter().collect()).collect();
+    let y_sets: Vec<BTreeSet<&VertexId>> = y.iter().map(|c| c.iter().collect()).collect();
     let mut total = 0.0;
     let mut counted = 0usize;
     for xi in x {
@@ -138,7 +138,7 @@ fn conditional_entropy_norm(x: &[Vec<VertexId>], y: &[Vec<VertexId>], n: usize) 
         if hx == 0.0 {
             continue;
         }
-        let xi_set: HashSet<&VertexId> = xi.iter().collect();
+        let xi_set: BTreeSet<&VertexId> = xi.iter().collect();
         let mut best = hx; // fall back to H(X_i) when no admissible match
         for (yj, yj_set) in y.iter().zip(&y_sets) {
             if yj.is_empty() {

@@ -57,6 +57,7 @@ pub(crate) struct StepBuffers {
 }
 
 impl StepBuffers {
+    // xlint: allow(hot-path-alloc) — setup-time construction: buffers are allocated once per engine and reused by every step
     pub fn new(engine: &Engine) -> Self {
         let k = engine.config.k;
         Self {
@@ -84,6 +85,7 @@ fn ensure_len(buf: &mut Vec<f64>, len: usize) {
 /// 3. apply the updates at the stage barrier,
 /// 4. per-chunk theta gradients (`THETA_CHUNK` pairs each), combined by
 ///    a fixed binary tree, then the theta SGRLD step (theta RNG).
+// xlint: allow(hot-path-panic) — updates/chunk_grads are sized in StepBuffers::new from the same engine maxima that bound every chunk range, so the disjoint per-chunk windows stay in bounds
 pub(crate) fn step(
     engine: &mut Engine,
     pool: &ThreadPool,
@@ -153,6 +155,7 @@ pub(crate) fn step(
 /// Evaluate held-out perplexity: each chunk fills its disjoint slice of
 /// one flat probability buffer (no per-chunk vectors), then the sample is
 /// recorded in pair order.
+// xlint: allow(hot-path-panic) — probs is sized to heldout.len() in StepBuffers::new and each chunk writes only its disjoint pair-range slice of it
 pub(crate) fn evaluate_perplexity(
     engine: &mut Engine,
     pool: &ThreadPool,

@@ -46,87 +46,16 @@
 mod background;
 pub mod retry;
 pub mod sync;
+mod worker;
 
 pub use background::{BackgroundWorker, BackgroundWorkerIn};
 pub use retry::{AckOutcome, LossShim, ReliableLink, ReliableLinkIn, SendOutcome};
 pub use sync::{RealSync, SyncBackend};
 
 use crate::sync::real::{Arc, Ordering};
+use crate::worker::{claim_chunks, current_worker, enter_worker, worker_loop, Job, Shared, State};
 use mmsb_obs::id as obs_id;
-use std::any::Any;
-use std::cell::Cell;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-
-thread_local! {
-    /// Worker id of the pool job currently executing on this thread.
-    static WORKER_ID: Cell<Option<usize>> = const { Cell::new(None) };
-}
-
-/// The worker id the current thread is running under, if any.
-fn current_worker() -> Option<usize> {
-    WORKER_ID.with(Cell::get)
-}
-
-/// Restores the previous worker id (and obs span tid) when a job scope
-/// ends (including by panic, so a caught panic cannot leave a stale id
-/// behind).
-struct IdGuard {
-    prev: Option<usize>,
-    prev_tid: u64,
-}
-
-impl Drop for IdGuard {
-    fn drop(&mut self) {
-        WORKER_ID.with(|id| id.set(self.prev));
-        mmsb_obs::spans::set_tid(self.prev_tid);
-    }
-}
-
-fn enter_worker(worker: usize) -> IdGuard {
-    IdGuard {
-        prev: WORKER_ID.with(|id| id.replace(Some(worker))),
-        // Spans opened inside the job carry the worker id, so trace
-        // viewers group them per worker.
-        prev_tid: mmsb_obs::spans::set_tid(worker as u64),
-    }
-}
-
-/// A published job: an erased pointer to the caller's closure plus the
-/// monomorphized trampoline that invokes it. `Copy`, so publication never
-/// allocates.
-#[derive(Clone, Copy)]
-struct Job {
-    data: *const (),
-    call: unsafe fn(*const (), usize, usize),
-    n_chunks: usize,
-}
-
-// SAFETY: the pointer refers to a closure pinned on the calling thread's
-// stack for the whole job (the caller blocks in `run` until every worker
-// has drained); the closure itself is required to be `Sync`, so invoking
-// it from worker threads is sound.
-unsafe impl Send for Job {}
-
-struct State {
-    job: Option<Job>,
-    /// Bumped once per published job so workers run each job exactly once.
-    epoch: u64,
-    shutdown: bool,
-    /// First panic payload caught by a helper worker.
-    panic: Option<Box<dyn Any + Send>>,
-}
-
-struct Shared<S: SyncBackend> {
-    state: S::Mutex<State>,
-    /// Workers wait here for a new epoch.
-    work_cv: S::Condvar,
-    /// The caller waits here for all workers to finish the current job.
-    done_cv: S::Condvar,
-    /// Next unclaimed chunk index of the current job.
-    next_chunk: S::AtomicUsize,
-    /// Helper workers still inside the current job.
-    active: S::AtomicUsize,
-}
+use std::panic::resume_unwind;
 
 /// Fork-join pool over persistent worker threads, generic over the
 /// [`SyncBackend`] its protocol runs on. Production code uses the
@@ -318,93 +247,6 @@ impl<S: SyncBackend> std::fmt::Debug for ThreadPoolIn<S> {
     }
 }
 
-/// Claim and execute chunks of `job` until none remain, returning the
-/// first caught panic payload (after poisoning the chunk counter so the
-/// other workers drain quickly).
-fn claim_chunks<S: SyncBackend>(
-    shared: &Shared<S>,
-    job: Job,
-    worker: usize,
-) -> Option<Box<dyn Any + Send>> {
-    let busy = mmsb_obs::metrics_on().then(mmsb_obs::clock::Stopwatch::start);
-    let mut claimed = 0u64;
-    let mut panic = None;
-    loop {
-        let chunk = S::fetch_add(&shared.next_chunk, 1, Ordering::Relaxed);
-        if chunk >= job.n_chunks {
-            break;
-        }
-        claimed += 1;
-        // SAFETY: `job.data` points at the caller's closure, alive until
-        // every worker drained; the trampoline was monomorphized for the
-        // closure's exact type in `run`.
-        let result = catch_unwind(AssertUnwindSafe(|| unsafe {
-            (job.call)(job.data, worker, chunk)
-        }));
-        if let Err(payload) = result {
-            if panic.is_none() {
-                panic = Some(payload);
-            }
-            // Skip the remaining chunks. Chunks below `n_chunks` were all
-            // claimed already (the counter only exceeds `n_chunks` after
-            // that), so this cannot re-issue one.
-            S::store(&shared.next_chunk, job.n_chunks, Ordering::Relaxed);
-        }
-    }
-    if claimed > 0 {
-        mmsb_obs::counter_add(obs_id::C_POOL_CHUNKS, claimed);
-    }
-    if let Some(sw) = busy {
-        mmsb_obs::hist_record_ns(obs_id::H_POOL_BUSY_NS, sw.elapsed_ns());
-    }
-    panic
-}
-
-fn worker_loop<S: SyncBackend>(shared: &Shared<S>, worker: usize) {
-    let mut seen_epoch = 0u64;
-    loop {
-        let idle = mmsb_obs::metrics_on().then(mmsb_obs::clock::Stopwatch::start);
-        let job = {
-            let mut st = S::lock(&shared.state);
-            loop {
-                if st.shutdown {
-                    return;
-                }
-                if st.epoch != seen_epoch {
-                    if let Some(job) = st.job {
-                        seen_epoch = st.epoch;
-                        break job;
-                    }
-                }
-                st = S::wait(&shared.work_cv, st);
-            }
-        };
-        if let Some(sw) = idle {
-            mmsb_obs::hist_record_ns(obs_id::H_POOL_IDLE_NS, sw.elapsed_ns());
-        }
-
-        let panic = {
-            let _guard = enter_worker(worker);
-            claim_chunks(shared, job, worker)
-        };
-
-        // The job stays published until every helper has passed through,
-        // so none of them can miss an epoch.
-        let remaining = S::fetch_sub(&shared.active, 1, Ordering::AcqRel) - 1;
-        let mut st = S::lock(&shared.state);
-        if let Some(payload) = panic {
-            if st.panic.is_none() {
-                st.panic = Some(payload);
-            }
-        }
-        if remaining == 0 {
-            st.job = None;
-            drop(st);
-            S::notify_all(&shared.done_cv);
-        }
-    }
-}
-
 /// A `Send + Sync` view of a mutable slice for handing pool chunks their
 /// disjoint output regions.
 ///
@@ -495,6 +337,7 @@ pub fn tree_combine_f64(buf: &mut [f64], width: usize, rows: usize) {
 mod tests {
     use super::*;
     use crate::sync::real::{AtomicU64, AtomicUsize, Ordering};
+    use std::panic::AssertUnwindSafe;
 
     /// Deterministically "compute" a value for a chunk.
     fn chunk_value(chunk: usize) -> u64 {

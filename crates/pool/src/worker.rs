@@ -1,0 +1,177 @@
+//! The fork-join hot path: job publication state, chunk claiming, and
+//! the persistent worker loop.
+//!
+//! Everything here runs once per chunk on every iteration of the
+//! samplers, so this module is on the xlint `hot-path-panic` /
+//! `hot-path-alloc` list: no panicking shortcuts (`unwrap`, slice
+//! indexing) and no per-chunk heap allocation. The only allocation in
+//! sight is the panic payload `Box` produced by `catch_unwind` on the
+//! (already unwinding, cold) failure path.
+//!
+//! The cold control surface — pool construction, `run`/`run_with`,
+//! shutdown — stays in `lib.rs`.
+
+use crate::sync::real::Ordering;
+use crate::sync::SyncBackend;
+use mmsb_obs::id as obs_id;
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+thread_local! {
+    /// Worker id of the pool job currently executing on this thread.
+    static WORKER_ID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker id the current thread is running under, if any.
+pub(crate) fn current_worker() -> Option<usize> {
+    WORKER_ID.with(Cell::get)
+}
+
+/// Restores the previous worker id (and obs span tid) when a job scope
+/// ends (including by panic, so a caught panic cannot leave a stale id
+/// behind).
+pub(crate) struct IdGuard {
+    prev: Option<usize>,
+    prev_tid: u64,
+}
+
+impl Drop for IdGuard {
+    fn drop(&mut self) {
+        WORKER_ID.with(|id| id.set(self.prev));
+        mmsb_obs::spans::set_tid(self.prev_tid);
+    }
+}
+
+pub(crate) fn enter_worker(worker: usize) -> IdGuard {
+    IdGuard {
+        prev: WORKER_ID.with(|id| id.replace(Some(worker))),
+        // Spans opened inside the job carry the worker id, so trace
+        // viewers group them per worker.
+        prev_tid: mmsb_obs::spans::set_tid(worker as u64),
+    }
+}
+
+/// A published job: an erased pointer to the caller's closure plus the
+/// monomorphized trampoline that invokes it. `Copy`, so publication never
+/// allocates.
+#[derive(Clone, Copy)]
+pub(crate) struct Job {
+    pub(crate) data: *const (),
+    pub(crate) call: unsafe fn(*const (), usize, usize),
+    pub(crate) n_chunks: usize,
+}
+
+// SAFETY: the pointer refers to a closure pinned on the calling thread's
+// stack for the whole job (the caller blocks in `run` until every worker
+// has drained); the closure itself is required to be `Sync`, so invoking
+// it from worker threads is sound.
+unsafe impl Send for Job {}
+
+pub(crate) struct State {
+    pub(crate) job: Option<Job>,
+    /// Bumped once per published job so workers run each job exactly once.
+    pub(crate) epoch: u64,
+    pub(crate) shutdown: bool,
+    /// First panic payload caught by a helper worker.
+    pub(crate) panic: Option<Box<dyn Any + Send>>,
+}
+
+pub(crate) struct Shared<S: SyncBackend> {
+    pub(crate) state: S::Mutex<State>,
+    /// Workers wait here for a new epoch.
+    pub(crate) work_cv: S::Condvar,
+    /// The caller waits here for all workers to finish the current job.
+    pub(crate) done_cv: S::Condvar,
+    /// Next unclaimed chunk index of the current job.
+    pub(crate) next_chunk: S::AtomicUsize,
+    /// Helper workers still inside the current job.
+    pub(crate) active: S::AtomicUsize,
+}
+
+/// Claim and execute chunks of `job` until none remain, returning the
+/// first caught panic payload (after poisoning the chunk counter so the
+/// other workers drain quickly).
+pub(crate) fn claim_chunks<S: SyncBackend>(
+    shared: &Shared<S>,
+    job: Job,
+    worker: usize,
+) -> Option<Box<dyn Any + Send>> {
+    let busy = mmsb_obs::metrics_on().then(mmsb_obs::clock::Stopwatch::start);
+    let mut claimed = 0u64;
+    let mut panic = None;
+    loop {
+        let chunk = S::fetch_add(&shared.next_chunk, 1, Ordering::Relaxed);
+        if chunk >= job.n_chunks {
+            break;
+        }
+        claimed += 1;
+        // SAFETY: `job.data` points at the caller's closure, alive until
+        // every worker drained; the trampoline was monomorphized for the
+        // closure's exact type in `run`.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+            (job.call)(job.data, worker, chunk)
+        }));
+        if let Err(payload) = result {
+            if panic.is_none() {
+                panic = Some(payload);
+            }
+            // Skip the remaining chunks. Chunks below `n_chunks` were all
+            // claimed already (the counter only exceeds `n_chunks` after
+            // that), so this cannot re-issue one.
+            S::store(&shared.next_chunk, job.n_chunks, Ordering::Relaxed);
+        }
+    }
+    if claimed > 0 {
+        mmsb_obs::counter_add(obs_id::C_POOL_CHUNKS, claimed);
+    }
+    if let Some(sw) = busy {
+        mmsb_obs::hist_record_ns(obs_id::H_POOL_BUSY_NS, sw.elapsed_ns());
+    }
+    panic
+}
+
+pub(crate) fn worker_loop<S: SyncBackend>(shared: &Shared<S>, worker: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let idle = mmsb_obs::metrics_on().then(mmsb_obs::clock::Stopwatch::start);
+        let job = {
+            let mut st = S::lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    if let Some(job) = st.job {
+                        seen_epoch = st.epoch;
+                        break job;
+                    }
+                }
+                st = S::wait(&shared.work_cv, st);
+            }
+        };
+        if let Some(sw) = idle {
+            mmsb_obs::hist_record_ns(obs_id::H_POOL_IDLE_NS, sw.elapsed_ns());
+        }
+
+        let panic = {
+            let _guard = enter_worker(worker);
+            claim_chunks(shared, job, worker)
+        };
+
+        // The job stays published until every helper has passed through,
+        // so none of them can miss an epoch.
+        let remaining = S::fetch_sub(&shared.active, 1, Ordering::AcqRel) - 1;
+        let mut st = S::lock(&shared.state);
+        if let Some(payload) = panic {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        if remaining == 0 {
+            st.job = None;
+            drop(st);
+            S::notify_all(&shared.done_cv);
+        }
+    }
+}

@@ -127,6 +127,7 @@ fn route(
     }
 }
 
+// xlint: allow(hot-path-panic) — k is clamped to snap.k() before the slice and communities_by_weight returns exactly snap.k() entries
 fn membership(
     shared: &ServerShared,
     snap: &ModelSnapshot,

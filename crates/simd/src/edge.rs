@@ -23,6 +23,7 @@ use crate::lanes::{sfma, LaneF64, ScalarLanes};
 /// Width-generic dual dot product: returns
 /// `(sum_c pi_a[c] * pi_b[c], sum_c pib_a[c] * pi_b[c])` over
 /// `c in 0..pi_a.len()`.
+// xlint: allow(hot-path-panic) — k = pi_a.len() and the documented contract requires pib_a/pi_b to hold at least k elements; both loops stop before k
 #[inline(always)]
 pub fn edge_dots_with<L: LaneF64>(l: L, pi_a: &[f64], pib_a: &[f64], pi_b: &[f64]) -> (f64, f64) {
     let k = pi_a.len();

@@ -135,6 +135,7 @@ const ONE_BITS: u64 = 0x3ff0_0000_0000_0000;
 const MAGIC_BITS: u64 = 0x4330_0000_0000_0000;
 const MAGIC: f64 = 4_503_599_627_370_496.0; // 2^52
 
+// xlint: allow(hot-path-panic) — lane values are [f64; W] arrays indexed by j in 0..W loops (in bounds by construction); slice load/store follow the trait contract i + LANES <= len upheld by every caller's loop bound
 impl<const W: usize, const FUSED: bool> LaneF64 for Lanes<W, FUSED> {
     const LANES: usize = W;
     const FUSED: bool = FUSED;

@@ -80,6 +80,7 @@ const LN_C: [f64; 10] = [
 
 /// Scalar mirror of the vector exp formula (same ops, same fusedness),
 /// used for tail elements. Caller guarantees `|x| < EXP_SAFE`.
+// xlint: allow(hot-path-panic) — EXP_C is indexed only with constant literals smaller than the table length
 #[inline(always)]
 fn exp_mirror<L: LaneF64>(x: f64) -> f64 {
     let n = (x * LOG2E).round_ties_even();
@@ -96,6 +97,7 @@ fn exp_mirror<L: LaneF64>(x: f64) -> f64 {
 
 /// Scalar mirror of the vector ln formula. Caller guarantees `x` is a
 /// positive normal finite value.
+// xlint: allow(hot-path-panic) — LN_C is indexed only with constant literals smaller than the table length
 #[inline(always)]
 fn ln_mirror<L: LaneF64>(x: f64) -> f64 {
     let bits = x.to_bits();
@@ -119,6 +121,7 @@ fn ln_mirror<L: LaneF64>(x: f64) -> f64 {
 }
 
 /// Width-generic `out[i] = exp(x[i])`; see the module docs.
+// xlint: allow(hot-path-panic) — x/out lengths are asserted equal on entry, loops stop before that length, and EXP_C is indexed with constant literals inside the table
 #[inline(always)]
 pub fn vexp_with<L: LaneF64>(l: L, x: &[f64], out: &mut [f64]) {
     assert_eq!(x.len(), out.len(), "exp buffer length mismatch");
@@ -164,6 +167,7 @@ pub fn vexp_with<L: LaneF64>(l: L, x: &[f64], out: &mut [f64]) {
 }
 
 /// Width-generic `out[i] = ln(x[i])`; see the module docs.
+// xlint: allow(hot-path-panic) — x/out lengths are asserted equal on entry, loops stop before that length, and LN_C is indexed with constant literals inside the table
 #[inline(always)]
 pub fn vln_with<L: LaneF64>(l: L, x: &[f64], out: &mut [f64]) {
     assert_eq!(x.len(), out.len(), "ln buffer length mismatch");
@@ -228,6 +232,7 @@ pub fn vln_with<L: LaneF64>(l: L, x: &[f64], out: &mut [f64]) {
 /// correctly-rounded IEEE operations, so the result inherits `vln`'s
 /// determinism contract: identical bits at every lane width, with only
 /// fusedness (FMA inside the `ln` polynomial) distinguishing backends.
+// xlint: allow(hot-path-panic) — u/s/out lengths are asserted equal on entry; both loops stop before that shared length
 #[inline(always)]
 pub fn polar_normal_with<L: LaneF64>(l: L, u: &[f64], s: &[f64], out: &mut [f64]) {
     assert_eq!(u.len(), s.len(), "polar buffer length mismatch");

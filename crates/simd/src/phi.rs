@@ -56,6 +56,7 @@ impl PhiScratch {
     }
 
     /// Split into (`pi_a`, `beta - delta`, `delta - beta`, `r` ping-pong).
+    // xlint: allow(hot-path-panic) — ensure(k) grows buf to at least 5 * k before any caller reaches this split
     fn parts(&mut self, k: usize) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
         let (pia, rest) = self.buf[..5 * k].split_at_mut(k);
         let (cdiff, rest) = rest.split_at_mut(k);
@@ -68,6 +69,7 @@ impl PhiScratch {
 /// numeric contract. `rows` holds `linked.len()` neighbor `pi_b` rows
 /// of `stride >= K` f32s each (SoA `RowView` layout); `out` is
 /// overwritten with the gradient.
+// xlint: allow(hot-path-panic) — scratch planes are sized to k by PhiScratch::ensure, rows are stride >= k apart (RowView contract), and every loop stops before k
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
 pub fn phi_gradient_with<L: LaneF64>(
@@ -199,6 +201,7 @@ pub fn phi_gradient_with<L: LaneF64>(
 /// entry and the clamped next `phi` row on exit. `noise` holds one
 /// pre-drawn standard-normal variate per community (drawn in
 /// coordinate order, so the RNG stream matches the scalar kernel).
+// xlint: allow(hot-path-panic) — phi_a/noise/grad are all length k (caller contract) and every loop stops before k
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
 pub fn sgrld_step_with<L: LaneF64>(

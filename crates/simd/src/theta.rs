@@ -60,6 +60,7 @@ impl ThetaScratch {
         }
     }
 
+    // xlint: allow(hot-path-panic) — buf holds exactly four k-sized planes (ensure) and idx is one of the four fixed plane indices
     fn plane(&self, idx: usize) -> &[f64] {
         &self.buf[idx * self.k..(idx + 1) * self.k]
     }
@@ -68,6 +69,7 @@ impl ThetaScratch {
 /// Build the chunk context from the current `beta`/`theta` and zero the
 /// gradient planes. Scalar and backend-independent: the same context
 /// bytes feed every lane width.
+// xlint: allow(hot-path-panic) — ensure(k) resizes every plane to k before the fills; all loops stop before k
 pub fn theta_chunk_begin(beta: &[f64], theta: &[f64], delta: f64, scratch: &mut ThetaScratch) {
     let k = beta.len();
     assert_eq!(theta.len(), 2 * k, "theta must be K x 2");
@@ -98,6 +100,7 @@ pub fn theta_chunk_begin(beta: &[f64], theta: &[f64], delta: f64, scratch: &mut 
 
 /// Width-generic accumulation of one pair into the gradient planes;
 /// requires a prior [`theta_chunk_begin`] on this scratch.
+// xlint: allow(hot-path-panic) — ctx and gradient planes were sized to k by theta_chunk_begin; every loop stops before k
 #[inline(always)]
 pub fn theta_accumulate_pair_with<L: LaneF64>(
     l: L,
@@ -174,6 +177,7 @@ pub fn theta_accumulate_pair_with<L: LaneF64>(
 
 /// Interleave the accumulated gradient planes into flat `K x 2` `out`
 /// (overwrites it), ending the chunk started by [`theta_chunk_begin`].
+// xlint: allow(hot-path-panic) — out is the caller's K x 2 buffer and the gradient planes are k-sized; both index loops stop before k
 pub fn theta_chunk_finish(scratch: &ThetaScratch, out: &mut [f64]) {
     let k = scratch.k;
     assert_eq!(out.len(), 2 * k, "gradient buffer must be K x 2");

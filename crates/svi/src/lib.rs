@@ -14,6 +14,22 @@
 //!   `rho_t = (tau + t)^(-kappa)`.
 //!
 //! The public API mirrors `mmsb-core`'s samplers so benches can swap them.
+//!
+//! # Confinement audit (xlint, DESIGN.md §14)
+//!
+//! This crate is dormant in the training hot path, but its output lands
+//! in the paper's comparison table, so it is held to the same
+//! determinism bar as the samplers it is compared against:
+//!
+//! * `#![forbid(unsafe_code)]` below, pinned by the `forbid-attr` rule;
+//! * no `std::time` (`time-confinement`) — convergence is measured by
+//!   the caller's clock, never internally;
+//! * no sockets (`net-confinement`), no `core::arch`
+//!   (`arch-confinement`);
+//! * no std hash containers (`hash-iter`): rolling that rule out caught
+//!   `sampler.rs` iterating a `HashMap` of per-vertex gamma statistics
+//!   while applying global updates — order-dependent arithmetic under a
+//!   per-process hasher seed, now a `BTreeMap`.
 
 #![forbid(unsafe_code)]
 

@@ -161,7 +161,10 @@ impl SviSampler {
         };
 
         // Local step: responsibilities phi_ab(k) for "both in k".
-        let mut gamma_stats = std::collections::HashMap::<u32, Vec<f64>>::new();
+        // BTreeMap, not HashMap: the natural-step loop below iterates this
+        // map, and std HashMap order is seeded per process — ordered
+        // iteration keeps the gamma update bitwise deterministic.
+        let mut gamma_stats = std::collections::BTreeMap::<u32, Vec<f64>>::new();
         let mut lambda_stats = vec![0.0f64; 2 * k];
         for (&(e, y), &w) in mb.pairs.iter().zip(&mb.weights) {
             let (a, b) = (e.lo().0, e.hi().0);

@@ -4,14 +4,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Workspace invariant lint, first and fail-fast: the item-level static
+# analyzer (DESIGN.md §14 — SAFETY comments, unsafe/sync/time/arch/net
+# confinement, hot-path panic/alloc freedom, lock ordering, hash-iter
+# determinism, suppression hygiene). The JSON document is round-tripped
+# through the schema validator in the same pipe, so under pipefail a
+# lint violation *or* a schema drift/truncation fails here, before the
+# build spends any time. On failure the human-readable report is
+# printed.
+cargo run -q --offline -p mmsb-check --bin xlint -- --json \
+    | cargo run -q --offline -p mmsb-check --bin xlint -- --validate-schema \
+    || { cargo run -q --offline -p mmsb-check --bin xlint; exit 1; }
+
 cargo build --release --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo test -q --offline
-
-# Unsafe-invariant lint gate: every unsafe block carries a SAFETY
-# comment, unsafe stays confined to the allowlisted modules, and
-# std::sync use inside pool/dkv goes through the sync layer.
-cargo run -q --offline -p mmsb-check --bin xlint
 
 # Concurrency model checker + lint self-tests: the pool/worker/prefetch
 # protocols stay clean across bounded-exhaustive interleavings, and the
