@@ -15,6 +15,17 @@
 //!   client-observed p50/p99 round-trip times measured strictly
 //!   serially (one request in flight), the synchronous-caller view.
 //!
+//! Two overload scenarios follow the steady-state figures:
+//!
+//! * `serve_shed/overload=4x` — 8 serial clients against a server
+//!   admitting 2 connections (4× capacity). The server must shed the
+//!   excess with fast-path 503s, never corrupt a response, and keep
+//!   the p99 of the *accepted* requests bounded — load shedding is
+//!   only worth it if the admitted traffic stays fast.
+//! * `serve_drain/threads=2` — a graceful drain triggered mid-traffic:
+//!   every in-flight exchange completes, every close is clean, zero
+//!   client-visible truncation, no aborted connections.
+//!
 //! `--quick` shrinks the request counts for CI smoke runs and relaxes
 //! the throughput gate (a loaded host measures scheduler noise, not
 //! the server), while keeping every line's shape identical so the
@@ -158,6 +169,82 @@ fn main() {
         )
         .expect("append BENCH_serve.json");
     }
+    // --- Overload: 4× the admissible connections. ---------------------
+    // A dedicated server so the caps are explicit: 2 workers, 2
+    // connection slots, 8 clients. The extra 6 connections must be
+    // shed with the canned 503 while the 2 admitted stay fast.
+    handle.shutdown();
+    let overload_cfg = ServeConfig {
+        threads: 2,
+        max_conns: 2,
+        ..ServeConfig::default()
+    };
+    let handle = ServeHandle::start(&model, &overload_cfg).expect("start overload server");
+    let addr = handle.addr();
+    let (clients, exchanges) = if quick { (8, 250) } else { (8, 2_500) };
+    let shed = loadgen::overload(addr, clients, exchanges, "/v1/membership/5?k=5");
+    println!(
+        "serve_shed/overload=4x            {} completed, {} shed, {} io_errors (accepted p50 {} ns, p99 {} ns)",
+        shed.completed, shed.shed, shed.io_errors, shed.p50_ns, shed.p99_ns
+    );
+    assert_eq!(shed.malformed, 0, "overload may shed but never corrupt");
+    assert!(shed.shed > 0, "4x overload must shed: {shed:?}");
+    assert!(shed.completed > 0, "admitted clients must be served: {shed:?}");
+    // The point of shedding: accepted requests stay fast even at 4×.
+    // Generous bound — the gate is "bounded", not "fast on any host".
+    let p99_bound_ns = if quick { 2_000_000_000u64 } else { 250_000_000 };
+    assert!(
+        shed.p99_ns < p99_bound_ns,
+        "accepted p99 {} ns breaches {} ns under overload",
+        shed.p99_ns,
+        p99_bound_ns
+    );
+    let stats = handle.overload_stats();
+    writeln!(
+        f,
+        "{{\"schema\":{BENCH_SCHEMA},\"suite\":\"bench_serve\",\"id\":\"serve_shed/overload=4x\",\"completed\":{},\"shed\":{},\"io_errors\":{},\"malformed\":{},\"p50_ns\":{},\"p99_ns\":{},\"shed_conns\":{},\"shed_requests\":{},\"clients\":{clients},\"max_conns\":2,\"threads\":2,\"host_cores\":{}}}",
+        shed.completed,
+        shed.shed,
+        shed.io_errors,
+        shed.malformed,
+        shed.p50_ns,
+        shed.p99_ns,
+        stats.shed_conns,
+        stats.shed_requests,
+        host_cores()
+    )
+    .expect("append BENCH_serve.json");
+
+    // --- Graceful drain mid-traffic. ----------------------------------
+    handle.shutdown();
+    let drain_cfg = ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    };
+    let handle = ServeHandle::start(&model, &drain_cfg).expect("start drain server");
+    let addr = handle.addr();
+    let (traffic, report) = loadgen::drain_traffic(addr, 2, 100, || handle.drain(2_000));
+    println!(
+        "serve_drain/threads=2             {} exchanges then drain: {} completed, {} aborted, forced={}, {} ms",
+        traffic.completed, report.completed, report.aborted, report.forced, report.elapsed_ms
+    );
+    assert_eq!(traffic.truncated, 0, "drain truncated a response: {traffic:?}");
+    assert!(traffic.completed > 0, "drain started before any traffic");
+    assert_eq!(report.aborted, 0, "graceful drain aborted conns: {report:?}");
+    assert!(!report.forced, "drain budget expired: {report:?}");
+    writeln!(
+        f,
+        "{{\"schema\":{BENCH_SCHEMA},\"suite\":\"bench_serve\",\"id\":\"serve_drain/threads=2\",\"client_exchanges\":{},\"clean_closes\":{},\"truncated\":{},\"drain_completed\":{},\"drain_aborted\":{},\"forced\":{},\"drain_elapsed_ms\":{},\"threads\":2,\"host_cores\":{}}}",
+        traffic.completed,
+        traffic.clean_closes,
+        traffic.truncated,
+        report.completed,
+        report.aborted,
+        report.forced,
+        report.elapsed_ms,
+        host_cores()
+    )
+    .expect("append BENCH_serve.json");
     drop(f);
 
     // The acceptance gate: 100k queries/sec on one core for membership
@@ -170,8 +257,9 @@ fn main() {
         "membership throughput gate failed: {gate_qps:.0} q/s < {bound:.0} q/s"
     );
 
+    // The drain scenario already consumed (and stopped) the last
+    // server via `handle.drain`.
     emit_obs_snapshot(out, "bench_serve", 1);
-    handle.shutdown();
     std::fs::remove_file(&model).ok();
     println!("\nbench_serve: done (results appended to {})", out.display());
 }

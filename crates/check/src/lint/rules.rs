@@ -61,6 +61,7 @@ pub const TIME_TOKENS: &[&str] = &["Instant", "SystemTime"];
 pub const HOT_PATHS: &[&str] = &[
     "crates/serve/src/handlers.rs",
     "crates/serve/src/http.rs",
+    "crates/serve/src/shed.rs",
     "crates/core/src/sampler/driver.rs",
     "crates/simd/src/phi.rs",
     "crates/simd/src/theta.rs",

@@ -515,12 +515,23 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         println!(
             "mmsb serve --model FILE [--addr HOST:PORT] [--threads N] \
              [--delta D] [--k K] [--simd auto|scalar|sse2|avx2|neon] \
+             [--max-conns N] [--max-inflight N] [--deadline-ms MS] \
+             [--drain-ms MS] [--keepalive-budget N] [--rate-limit QPS] \
              [--obs-level off|metrics|spans]\n\
              serves a checkpoint (from `mmsb train --checkpoint` or \
              `mmsb simulate --checkpoint`) over HTTP until killed; \
              --k is the default top-k for /v1/membership, --delta the \
              Eq. 7 inter-community link probability, --threads the \
              number of concurrently served connections.\n\
+             overload protection: --max-conns / --max-inflight cap \
+             admitted connections / in-flight requests (0 = auto = \
+             threads; excess traffic gets fast-path 503 + Retry-After), \
+             --deadline-ms bounds response writes and half-received \
+             requests (default 5000), --drain-ms is the graceful-drain \
+             budget on shutdown (default 2000), --keepalive-budget \
+             closes a connection after N requests so queued peers get a \
+             turn (0 = unlimited), --rate-limit answers 429 over QPS \
+             requests/second per worker (0 = off).\n\
              endpoints: GET /healthz | GET /metricsz | \
              GET /v1/membership/VERTEX?k=N | GET /v1/edge/I/J | \
              GET /v1/community/C?min_weight=W | POST /v1/reload"
@@ -539,6 +550,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         delta: args.parsed("delta", 1e-5)?,
         backend,
         default_k: args.parsed("k", 5)?,
+        max_conns: args.parsed("max-conns", 0)?,
+        max_inflight: args.parsed("max-inflight", 0)?,
+        deadline_ms: args.parsed("deadline-ms", 5_000)?,
+        drain_ms: args.parsed("drain-ms", 2_000)?,
+        keepalive_budget: args.parsed("keepalive-budget", 0)?,
+        rate_limit: args.parsed("rate-limit", 0)?,
     };
     let handle = mmsb::serve::ServeHandle::start(std::path::Path::new(model), &cfg)
         .map_err(|e| e.to_string())?;

@@ -56,8 +56,26 @@ pub mod id {
     pub const C_SERVE_RELOADS: usize = 18;
     /// serve: TCP connections accepted.
     pub const C_SERVE_CONNS: usize = 19;
+    /// serve: connections refused with a fast-path 503 (over the
+    /// admitted-connection cap, or pending behind saturated workers).
+    pub const C_SERVE_SHED_CONNS: usize = 20;
+    /// serve: requests answered 503 because the in-flight cap was hit.
+    pub const C_SERVE_SHED_REQUESTS: usize = 21;
+    /// serve: requests answered 429 by the per-worker token bucket.
+    pub const C_SERVE_RATE_LIMITED: usize = 22;
+    /// serve: connections closed by a deadline (slow-loris partial
+    /// head, never-sent first request, or a response write timeout).
+    pub const C_SERVE_DEADLINE_CLOSES: usize = 23;
+    /// serve: connections that completed cleanly during a drain (all
+    /// buffered requests answered, closed at a request boundary).
+    pub const C_SERVE_DRAIN_COMPLETED: usize = 24;
+    /// serve: connections force-closed after the drain deadline.
+    pub const C_SERVE_DRAIN_ABORTED: usize = 25;
+    /// serve: reload attempts that failed (corrupt/unreadable
+    /// checkpoint); the old generation keeps serving.
+    pub const C_SERVE_RELOAD_ERRORS: usize = 26;
     /// Number of counters.
-    pub const COUNTER_COUNT: usize = 20;
+    pub const COUNTER_COUNT: usize = 27;
 
     /// Counter names, indexed by counter id (export order).
     pub const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
@@ -81,6 +99,13 @@ pub mod id {
         "serve_errors",
         "serve_reloads",
         "serve_conns",
+        "serve_shed_conns",
+        "serve_shed_requests",
+        "serve_rate_limited",
+        "serve_deadline_closes",
+        "serve_drain_completed",
+        "serve_drain_aborted",
+        "serve_reload_errors",
     ];
 
     // --- gauges -----------------------------------------------------
@@ -90,11 +115,14 @@ pub mod id {
     pub const G_OBS_LEVEL: usize = 1;
     /// serve: requests currently being handled.
     pub const G_SERVE_INFLIGHT: usize = 2;
+    /// serve: connections currently admitted (holding a permit).
+    pub const G_SERVE_CONNS_OPEN: usize = 3;
     /// Number of gauges.
-    pub const GAUGE_COUNT: usize = 3;
+    pub const GAUGE_COUNT: usize = 4;
 
     /// Gauge names, indexed by gauge id.
-    pub const GAUGE_NAMES: [&str; GAUGE_COUNT] = ["workers", "obs_level", "serve_inflight"];
+    pub const GAUGE_NAMES: [&str; GAUGE_COUNT] =
+        ["workers", "obs_level", "serve_inflight", "serve_conns_open"];
 
     // --- histograms -------------------------------------------------
     /// First of [`HIST_PHASES`] per-phase histograms, one per netsim

@@ -46,8 +46,7 @@ pub(crate) fn handle(
 ) -> bool {
     let _span = mmsb_obs::span(obs_id::S_SERVE_REQUEST);
     let timer = mmsb_obs::metrics_on().then(mmsb_obs::clock::Stopwatch::start);
-    let inflight = shared.inflight.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-    mmsb_obs::gauge_set(obs_id::G_SERVE_INFLIGHT, inflight);
+    mmsb_obs::gauge_set(obs_id::G_SERVE_INFLIGHT, shared.adm.inflight() as u64);
 
     shared.cell.refresh(cache);
     body.clear();
@@ -61,8 +60,6 @@ pub(crate) fn handle(
     if let Some(sw) = timer {
         mmsb_obs::hist_record_ns(endpoint.hist(), sw.elapsed_ns());
     }
-    let inflight = shared.inflight.fetch_sub(1, std::sync::atomic::Ordering::Relaxed) - 1;
-    mmsb_obs::gauge_set(obs_id::G_SERVE_INFLIGHT, inflight);
     req.keep_alive
 }
 

@@ -37,6 +37,12 @@ pub enum Parsed<'a> {
     Incomplete,
     /// The bytes are not a well-formed request; respond 400 and close.
     Malformed,
+    /// The request head (request line + headers) exceeds
+    /// [`MAX_HEAD_BYTES`]; respond 431 and close.
+    HeadTooLarge,
+    /// The declared body exceeds [`MAX_BODY_BYTES`]; respond 413 and
+    /// close.
+    BodyTooLarge,
 }
 
 /// Byte-wise ASCII case-insensitive equality.
@@ -57,13 +63,13 @@ pub fn parse_request(buf: &[u8]) -> Parsed<'_> {
     let Some(head_end) = find_header_end(buf) else {
         // Reject unbounded header growth before ever seeing the end.
         return if buf.len() > MAX_HEAD_BYTES {
-            Parsed::Malformed
+            Parsed::HeadTooLarge
         } else {
             Parsed::Incomplete
         };
     };
     if head_end > MAX_HEAD_BYTES {
-        return Parsed::Malformed;
+        return Parsed::HeadTooLarge;
     }
     let head = &buf[..head_end - 4];
     let mut lines = head.split(|&b| b == b'\n').map(|l| {
@@ -112,7 +118,7 @@ pub fn parse_request(buf: &[u8]) -> Parsed<'_> {
                 return Parsed::Malformed;
             };
             if len > MAX_BODY_BYTES {
-                return Parsed::Malformed;
+                return Parsed::BodyTooLarge;
             }
             content_length = len;
         }
@@ -157,7 +163,12 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -175,6 +186,40 @@ pub fn write_response(out: &mut Vec<u8>, status: u16, content_type: &str, body: 
     );
     out.extend_from_slice(body);
 }
+
+/// Like [`write_response`], with a `Retry-After: {secs}` header — the
+/// overload-shedding statuses (429/503) tell well-behaved clients when
+/// to come back instead of letting them hammer the accept queue.
+pub fn write_response_retry_after(
+    out: &mut Vec<u8>,
+    status: u16,
+    retry_after_secs: u32,
+    content_type: &str,
+    body: &[u8],
+) {
+    use std::io::Write as _;
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nRetry-After: {retry_after_secs}\r\nContent-Type: \
+         {content_type}\r\nContent-Length: {}\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    out.extend_from_slice(body);
+}
+
+/// The canned fast-path 503 written to connections refused by the
+/// admission controller before any parsing happens. A `const` so the
+/// shed path costs one `write` and zero allocations.
+pub const SHED_RESPONSE: &[u8] = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\
+    Connection: close\r\nContent-Type: application/json\r\nContent-Length: 26\r\n\r\n\
+    {\"error\":\"over capacity\"}\n";
+
+/// The canned 408 written (best-effort) before closing a connection
+/// whose partially received request outlived the receive deadline.
+pub const TIMEOUT_RESPONSE: &[u8] = b"HTTP/1.1 408 Request Timeout\r\n\
+    Connection: close\r\nContent-Type: application/json\r\nContent-Length: 29\r\n\r\n\
+    {\"error\":\"receive deadline\"}\n";
 
 /// Parse one response at the front of `buf` (client side, used by the
 /// load generator): returns `(status, total_bytes)` once the full
@@ -282,7 +327,60 @@ mod tests {
     fn partial_head_is_incomplete_but_bounded() {
         assert_eq!(parse_request(b"GET /heal"), Parsed::Incomplete);
         let oversized = vec![b'a'; MAX_HEAD_BYTES + 1];
-        assert_eq!(parse_request(&oversized), Parsed::Malformed);
+        assert_eq!(parse_request(&oversized), Parsed::HeadTooLarge);
+        // A terminated head that is itself over the cap is also 431
+        // material, not a silent 400.
+        let mut huge = vec![b'a'; MAX_HEAD_BYTES + 1];
+        huge.splice(0..0, b"GET / HTTP/1.1\r\nX: ".iter().copied());
+        huge.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(parse_request(&huge), Parsed::HeadTooLarge);
+    }
+
+    #[test]
+    fn oversized_body_is_413_material() {
+        let req = format!(
+            "POST /v1/reload HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse_request(req.as_bytes()), Parsed::BodyTooLarge);
+    }
+
+    #[test]
+    fn retry_after_responses_parse_and_name_their_reason() {
+        let mut out = Vec::new();
+        write_response_retry_after(&mut out, 503, 2, "application/json", b"{}");
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        let (status, len) = parse_response(&out).unwrap();
+        assert_eq!((status, len), (503, out.len()));
+
+        let mut out = Vec::new();
+        write_response_retry_after(&mut out, 429, 1, "application/json", b"{}");
+        assert!(String::from_utf8(out).unwrap().contains("429 Too Many Requests"));
+
+        for (status, reason) in [
+            (408, "Request Timeout"),
+            (413, "Content Too Large"),
+            (431, "Request Header Fields Too Large"),
+        ] {
+            let mut out = Vec::new();
+            write_response(&mut out, status, "application/json", b"{}");
+            assert!(
+                String::from_utf8(out).unwrap().contains(reason),
+                "{status} should render {reason}"
+            );
+        }
+    }
+
+    #[test]
+    fn shed_response_is_a_complete_parseable_503() {
+        let (status, len) = parse_response(SHED_RESPONSE).unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(len, SHED_RESPONSE.len(), "Content-Length must match the body exactly");
+        let (status, len) = parse_response(TIMEOUT_RESPONSE).unwrap();
+        assert_eq!(status, 408);
+        assert_eq!(len, TIMEOUT_RESPONSE.len(), "Content-Length must match the body exactly");
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod cell;
 pub mod http;
 pub mod loadgen;
 pub mod server;
+pub mod shed;
 pub mod snapshot;
 
 mod handlers;
@@ -55,6 +56,9 @@ pub use cell::{ReaderCache, SnapshotCell, SnapshotCellIn};
 /// addresses without touching `std::net` themselves — the
 /// `net-confinement` lint keeps socket types to this crate.
 pub use std::net::SocketAddr;
-pub use loadgen::{LatencyReport, ThroughputReport};
-pub use server::{ServeConfig, ServeError, ServeHandle};
+pub use loadgen::{
+    ChaosKind, ChaosReport, DrainTrafficReport, LatencyReport, OverloadReport, ThroughputReport,
+};
+pub use server::{DrainReport, OverloadStats, ServeConfig, ServeError, ServeHandle};
+pub use shed::{Admission, AdmissionIn, Admit, ConnClose, Lifecycle, TokenBucket};
 pub use snapshot::{ModelSnapshot, SnapshotError};

@@ -76,3 +76,19 @@ bash scripts/sanitize.sh
 cargo test -q --offline -p mmsb-serve
 cargo test -q --offline -p mmsb-check --test model_snapshot_cell
 (cd "$(mktemp -d)" && "$repo/target/release/bench_serve" --quick)
+
+# Overload-robustness contracts (DESIGN.md §13): the admission/drain
+# protocol model-checked across interleavings (slot conservation,
+# drain-vs-admit races, monotone lifecycle, plus seeded leaked-permit
+# and double-decrement negative controls the checker must catch), the
+# adversarial chaos suite (slow-loris, half-close, never-read, garbage,
+# oversized heads, idle — none may pin a worker), shed/drain against a
+# live server, every-flipped-byte reload corruption, and the
+# generator-as-oracle property suite for the request parser. The quick
+# bench_serve run above already gates the 4x-overload shed scenario and
+# the zero-client-visible-error drain.
+cargo test -q --offline -p mmsb-check --test model_admission
+cargo test -q --offline -p mmsb-serve --test chaos
+cargo test -q --offline -p mmsb-serve --test drain_shed
+cargo test -q --offline -p mmsb-serve --test reload_corrupt
+cargo test -q --offline -p mmsb-serve --test http_prop
