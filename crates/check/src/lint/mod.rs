@@ -243,6 +243,35 @@ mod tests {
     }
 
     #[test]
+    fn fs_confinement() {
+        let uses = "use std::fs;";
+        let vs = lint_file("crates/core/src/sampler/distributed.rs", uses);
+        assert!(vs.iter().any(|v| v.rule == "fs-confinement"), "{vs:?}");
+        let write = "fn f() { std::fs::write(\"x\", b\"y\").unwrap(); }";
+        let vs = lint_file("crates/serve/src/reload.rs", write);
+        assert!(vs.iter().any(|v| v.rule == "fs-confinement"), "{vs:?}");
+        // The sanctioned persistence layers pass.
+        for rel in [
+            "crates/ooc/src/file.rs",
+            "crates/graph/src/io.rs",
+            "crates/core/src/checkpoint.rs",
+            "crates/bench/src/bin/bench_graph.rs",
+            "crates/mmsb/src/bin/mmsb.rs",
+            "crates/check/src/lint/mod.rs",
+            "crates/obs/src/export.rs",
+        ] {
+            assert!(lint_file(rel, uses).is_empty(), "{rel} should be allowlisted");
+        }
+        // Integration tests and #[cfg(test)] code are exempt everywhere.
+        assert!(lint_file("crates/serve/tests/e2e.rs", write).is_empty());
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::fs::read(\"x\"); }\n}\n";
+        assert!(lint_file("crates/core/src/eval.rs", test_only).is_empty());
+        // Comments and strings never trip the token rule.
+        let masked = "// std::fs\nlet s = \"std::fs::write\";";
+        assert!(lint_file("crates/core/src/eval.rs", masked).is_empty());
+    }
+
+    #[test]
     fn simd_crate_is_allowlisted_but_still_needs_safety_comments() {
         // `unsafe` inside crates/simd passes the allowlist gate, but a
         // missing SAFETY comment must still fail the build there.

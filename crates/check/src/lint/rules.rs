@@ -49,6 +49,21 @@ pub const ARCH_ALLOWED: &str = "crates/simd";
 /// Path prefix where `std::net` may be named. Everyone else drives a
 /// server through `mmsb-serve`'s public API.
 pub const NET_ALLOWED: &str = "crates/serve";
+/// Path prefixes where `std::fs` may be named: the sanctioned
+/// persistence layers (out-of-core graph files, the edge-list reader,
+/// checkpointing, obs export), the harnesses whose whole job is files
+/// (bench, CLI), and the analyzer's own workspace walk. Integration
+/// tests (`tests/` files) and `#[cfg(test)]` code are exempt
+/// everywhere — tempfile round-trips are how persistence is tested.
+pub const FS_ALLOWED: &[&str] = &[
+    "crates/ooc/src",
+    "crates/graph/src/io.rs",
+    "crates/core/src/checkpoint.rs",
+    "crates/bench",
+    "crates/mmsb",
+    "crates/check/src/lint",
+    "crates/obs/src/export.rs",
+];
 /// Clock-type tokens the time-confinement rule forbids elsewhere.
 pub const TIME_TOKENS: &[&str] = &["Instant", "SystemTime"];
 
@@ -188,7 +203,7 @@ pub fn rule_ids() -> Vec<&'static str> {
     REGISTRY.iter().map(|r| r.id).collect()
 }
 
-static REGISTRY: [Rule; 15] = [
+static REGISTRY: [Rule; 16] = [
     Rule {
         id: "safety-comment",
         summary: "every unsafe site carries a `// SAFETY:` justification",
@@ -278,6 +293,22 @@ protocol, and the simulated transports can never silently grow a real socket.",
         scope: Scope::All,
         suppressible: false,
         check: Check::File(check_net_confinement),
+    },
+    Rule {
+        id: "fs-confinement",
+        summary: "std::fs only in the sanctioned persistence layers",
+        explain: "`std::fs` may be named only in the layers whose job is durable bytes: the \
+out-of-core graph format (crates/ooc), the edge-list reader (crates/graph/src/io.rs), checkpoint \
+persistence (crates/core/src/checkpoint.rs), the obs exporter, the bench harness, the CLI, and \
+the analyzer's own workspace walk. Everything else stays I/O-free by construction: samplers, \
+kernels, and stores take readers/writers or in-memory state, so they are testable without a \
+filesystem and a stray temp file can never leak into a hot loop. Integration tests and \
+`#[cfg(test)]` code are exempt — tempfile round-trips are how the persistence layers are \
+tested. Extending the allowlist is a reviewed table edit (FS_ALLOWED in \
+crates/check/src/lint/rules.rs), never an inline waiver.",
+        scope: Scope::All,
+        suppressible: false,
+        check: Check::File(check_fs_confinement),
     },
     Rule {
         id: "hot-path-panic",
@@ -546,6 +577,30 @@ fn check_net_confinement(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
                 "`std::net` named outside crates/serve; drive a server \
                  through `mmsb_serve` (ServeHandle, loadgen) so real \
                  socket I/O stays in one crate with one shutdown protocol"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn check_fs_confinement(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if FS_ALLOWED.iter().any(|p| ctx.rel.starts_with(p)) || ctx.rel.contains("/tests/") {
+        return;
+    }
+    for k in 0..ctx.toks.len() {
+        if ctx.parsed.test_mask[k] {
+            continue;
+        }
+        if is_path2(ctx.toks, k, &["std"], "fs") {
+            push(
+                out,
+                ctx,
+                ctx.toks[k].line,
+                "fs-confinement",
+                "`std::fs` named outside the sanctioned persistence layers; \
+                 route durable bytes through mmsb_ooc / graph::io / Checkpoint \
+                 / obs export, or extend FS_ALLOWED in \
+                 crates/check/src/lint/rules.rs"
                     .to_string(),
             );
         }

@@ -1,0 +1,8 @@
+//! Fixture: ad-hoc file I/O outside the sanctioned persistence layers.
+
+use std::fs;
+
+pub fn dump(path: &str, data: &[u8]) -> std::io::Result<Vec<u8>> {
+    std::fs::write(path, data)?;
+    std::fs::read(path)
+}

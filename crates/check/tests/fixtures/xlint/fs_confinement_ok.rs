@@ -1,0 +1,21 @@
+//! Fixture: the conforming twin of `fs_confinement_bad.rs` — the
+//! production path takes a writer instead of naming the filesystem,
+//! and the tempfile round-trip lives under `#[cfg(test)]`, which the
+//! rule exempts.
+
+use std::io::Write;
+
+pub fn dump<W: Write>(mut sink: W, data: &[u8]) -> std::io::Result<()> {
+    sink.write_all(data)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip() {
+        let path = std::env::temp_dir().join("fs_confinement_fixture");
+        std::fs::write(&path, b"payload").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"payload");
+        let _ = std::fs::remove_file(&path);
+    }
+}

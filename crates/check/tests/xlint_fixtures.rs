@@ -108,6 +108,33 @@ fn hash_iter_fixture_pair() {
     assert_eq!(lint_as("crates/core/src/graph.rs", "hash_iter_ok.rs"), EMPTY);
 }
 
+#[test]
+fn fs_confinement_fixture_pair() {
+    const MSG: &str = "`std::fs` named outside the sanctioned persistence layers; \
+         route durable bytes through mmsb_ooc / graph::io / Checkpoint / obs export, \
+         or extend FS_ALLOWED in crates/check/src/lint/rules.rs";
+    let entry = |line: usize| {
+        format!(
+            "{{\"file\":\"crates/core/src/eval.rs\",\"line\":{line},\
+             \"rule\":\"fs-confinement\",\"message\":\"{MSG}\"}}"
+        )
+    };
+    // One token path on the import line, one per fs call.
+    let expected = format!(
+        "{{\"version\":1,\"count\":3,\"violations\":[{},{},{}]}}",
+        entry(3),
+        entry(6),
+        entry(7),
+    );
+    assert_eq!(
+        lint_as("crates/core/src/eval.rs", "fs_confinement_bad.rs"),
+        expected
+    );
+    // The conforming twin keeps its tempfile round-trip under
+    // `#[cfg(test)]`, which the rule exempts.
+    assert_eq!(lint_as("crates/core/src/eval.rs", "fs_confinement_ok.rs"), EMPTY);
+}
+
 /// An item-level suppression with a justification waives the fixture's
 /// violations and counts as used (no unused-suppression backlash).
 #[test]

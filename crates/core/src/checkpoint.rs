@@ -99,31 +99,10 @@ impl std::error::Error for CheckpointError {}
 
 // ---------------------------------------------------------------- CRC-32
 
-/// CRC-32 lookup table for the reflected IEEE 802.3 polynomial.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
-            bit += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-/// CRC-32 (IEEE) of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    !c
-}
+// The checkpoint checksum now lives in `mmsb-ooc` (the on-disk graph
+// format shares it); re-exported here so `mmsb_core::checkpoint::crc32`
+// keeps working.
+pub use mmsb_ooc::crc32;
 
 // ------------------------------------------------------------ serializer
 

@@ -94,6 +94,11 @@ pub struct SamplerConfig {
     /// round differently in the last ulps — force one for cross-host
     /// reproducibility.
     pub simd: SimdPolicy,
+    /// Per-reader block-cache capacity (in blocks) for out-of-core
+    /// graphs; ignored by resident backends. Cache size is pure scratch
+    /// — any value yields the same chain — so this only trades memory
+    /// for disk reads.
+    pub graph_cache_blocks: usize,
 }
 
 impl SamplerConfig {
@@ -115,6 +120,7 @@ impl SamplerConfig {
             seed: 42,
             layout: StateLayout::PiSumPhi,
             simd: SimdPolicy::Auto,
+            graph_cache_blocks: mmsb_ooc::DEFAULT_CACHE_BLOCKS,
         }
     }
 
@@ -161,6 +167,12 @@ impl SamplerConfig {
     /// forced backend this falls back to scalar rather than panicking.
     pub fn backend(&self) -> Backend {
         self.simd.resolve().unwrap_or(Backend::Scalar)
+    }
+
+    /// Set the out-of-core block-cache capacity (blocks per reader).
+    pub fn with_graph_cache_blocks(mut self, blocks: usize) -> Self {
+        self.graph_cache_blocks = blocks.max(1);
+        self
     }
 
     /// Set `delta`.

@@ -29,7 +29,7 @@ use crate::{CoreError, ModelState};
 use mmsb_dkv::pipeline::{ChunkedReader, PipelineMode, PrefetchingReader, ReaderScratch};
 use mmsb_dkv::{DkvStore, FaultingStore, Partition, ShardedStore};
 use mmsb_graph::heldout::HeldOut;
-use mmsb_graph::{Graph, VertexId};
+use mmsb_graph::{Graph, GraphAccess, VertexId};
 use mmsb_netsim::{
     collective, ClusterClocks, DkvFault, FaultConfig, FaultPlan, MsgFault, NetworkModel, Phase,
     PhaseTimes, RecoveryPolicy, TraceReport,
@@ -188,6 +188,9 @@ pub struct DistributedSampler {
     keys_buf: Vec<u32>,
     seg_lens: Vec<usize>,
     linked_buf: Vec<bool>,
+    /// Block cache for out-of-core adjacency probes in the worker
+    /// `update_phi` stage (`None` for resident backends). Pure scratch.
+    graph_cache: Option<mmsb_ooc::BlockCache>,
 }
 
 /// Logical message-stage ids folded into the fabric fault coordinate so
@@ -222,13 +225,25 @@ impl DistributedSampler {
         config: SamplerConfig,
         dcfg: DistributedConfig,
     ) -> Result<Self, CoreError> {
+        Self::with_backend(graph.into(), heldout, config, dcfg)
+    }
+
+    /// Build a distributed sampler over either graph backend (resident
+    /// CSR or the out-of-core block-cached format). The chain is bitwise
+    /// identical across backends.
+    pub fn with_backend(
+        graph: mmsb_ooc::GraphBackend,
+        heldout: HeldOut,
+        config: SamplerConfig,
+        dcfg: DistributedConfig,
+    ) -> Result<Self, CoreError> {
         dcfg.validate()?;
         if config.layout != StateLayout::PiSumPhi {
             return Err(CoreError::InvalidConfig {
                 reason: "distributed sampler requires the PiSumPhi layout".into(),
             });
         }
-        let engine = Engine::new(graph, heldout, config)?;
+        let engine = Engine::with_backend(graph, heldout, config)?;
         let n = engine.graph.num_vertices();
         let k = engine.config.k;
         let mut store = ShardedStore::new(Partition::new(n, dcfg.workers), k + 1);
@@ -247,6 +262,9 @@ impl DistributedSampler {
         // before the first explicit checkpoint: a kill at iteration 0
         // must be recoverable.
         let last_checkpoint = dcfg.faults.map(|_| Checkpoint::capture(&engine));
+        let graph_cache = engine
+            .graph
+            .new_cache(engine.config.graph_cache_blocks, engine.config.seed ^ 0xD15);
         Ok(Self {
             engine,
             dcfg,
@@ -263,6 +281,7 @@ impl DistributedSampler {
             keys_buf: Vec::new(),
             seg_lens: Vec::new(),
             linked_buf: Vec::new(),
+            graph_cache,
         })
     }
 
@@ -475,6 +494,9 @@ impl DistributedSampler {
             }
             let engine = &self.engine;
             let linked = &mut self.linked_buf;
+            // The adjacency reader borrows only `self.graph_cache`,
+            // disjoint from the engine and buffer borrows above.
+            let mut reader = engine.graph.reader(self.graph_cache.as_mut());
             let mut vi = 0usize;
             let mut on_chunk = |_start: usize, chunk_keys: &[u32], rows: &[f32]| {
                 let mut offset = 0usize;
@@ -484,7 +506,7 @@ impl DistributedSampler {
                     let nrows =
                         &rows[(offset + 1) * row_len..(offset + 1 + ns.len()) * row_len];
                     linked.clear();
-                    linked.extend(ns.iter().map(|&b| engine.graph.has_edge(*a, b)));
+                    linked.extend(ns.iter().map(|&b| reader.has_edge(*a, b)));
                     let update = engine.compute_phi_update_from_rows(
                         *a,
                         own,

@@ -11,7 +11,8 @@ use crate::CoreError;
 use mmsb_graph::minibatch::{BatchKind, MiniBatch, MinibatchSampler, Strategy};
 use mmsb_graph::heldout::HeldOut;
 use mmsb_graph::neighbor::NeighborSampler;
-use mmsb_graph::{Graph, VertexId};
+use mmsb_graph::{Graph, GraphAccess, VertexId};
+use mmsb_ooc::{BlockCache, GraphBackend};
 use mmsb_rand::dist::Normal;
 use mmsb_rand::Xoshiro256PlusPlus;
 use mmsb_simd::Backend;
@@ -29,7 +30,11 @@ pub(crate) const PHI_CHUNK: usize = 8;
 /// Drivers compose these operations; none of them consults thread or rank
 /// identity, which is what keeps chains identical across drivers.
 pub(crate) struct Engine {
-    pub graph: Graph,
+    pub graph: GraphBackend,
+    /// The master's block cache for out-of-core adjacency reads (`None`
+    /// for resident backends). Mini-batch drawing and the threaded
+    /// master's neighbor scatter read through it.
+    pub master_cache: Option<BlockCache>,
     pub heldout: HeldOut,
     pub config: SamplerConfig,
     pub state: ModelState,
@@ -58,6 +63,19 @@ pub(crate) type PhiUpdate = (VertexId, Vec<f64>);
 
 impl Engine {
     pub fn new(graph: Graph, heldout: HeldOut, config: SamplerConfig) -> Result<Self, CoreError> {
+        Self::with_backend(GraphBackend::Resident(graph), heldout, config)
+    }
+
+    /// Build an engine over either graph backend. The chain is bitwise
+    /// identical across backends: adjacency reads return the same values
+    /// whether they come from the resident CSR or CRC-verified disk
+    /// blocks, and every random draw is keyed independently of the read
+    /// path.
+    pub fn with_backend(
+        graph: GraphBackend,
+        heldout: HeldOut,
+        config: SamplerConfig,
+    ) -> Result<Self, CoreError> {
         config.validate(graph.num_vertices())?;
         let mut init = rngs::init_rng(config.seed);
         let state = ModelState::init(
@@ -68,7 +86,8 @@ impl Engine {
             config.eta,
             &mut init,
         )?;
-        let max_pairs = max_batch_pairs(&graph, config.minibatch);
+        let max_pairs = max_batch_pairs(graph.num_vertices(), graph.max_degree(), config.minibatch);
+        let master_cache = graph.new_cache(config.graph_cache_blocks, config.seed);
         let strata_cap = match config.minibatch {
             Strategy::StratifiedNode { anchors, .. } => anchors,
             Strategy::RandomPair { .. } => 0,
@@ -90,6 +109,7 @@ impl Engine {
             backend: config.backend(),
             perp_scratch: vec![0.0; 2 * heldout.len()],
             graph,
+            master_cache,
             heldout,
             config,
             state,
@@ -102,15 +122,23 @@ impl Engine {
     /// Hard upper bound on the number of vertices any mini-batch can touch
     /// — sizes the drivers' flat update buffer once, up front.
     pub fn max_batch_vertices(&self) -> usize {
-        (2 * max_batch_pairs(&self.graph, self.config.minibatch))
-            .min(self.graph.num_vertices() as usize)
+        let pairs = max_batch_pairs(
+            self.graph.num_vertices(),
+            self.graph.max_degree(),
+            self.config.minibatch,
+        );
+        (2 * pairs).min(self.graph.num_vertices() as usize)
     }
 
     /// Hard upper bound on theta chunks per iteration.
     pub fn max_theta_chunks(&self) -> usize {
-        max_batch_pairs(&self.graph, self.config.minibatch)
-            .div_ceil(THETA_CHUNK)
-            .max(1)
+        max_batch_pairs(
+            self.graph.num_vertices(),
+            self.graph.max_degree(),
+            self.config.minibatch,
+        )
+        .div_ceil(THETA_CHUNK)
+        .max(1)
     }
 
     /// Swap in a new training snapshot (same vertex set, evolved edges)
@@ -131,28 +159,37 @@ impl Engine {
         self.config.validate(graph.num_vertices())?;
         self.perplexity = PerplexityAccumulator::new(heldout.len());
         self.perp_scratch = vec![0.0; 2 * heldout.len()];
-        self.graph = graph;
+        self.graph = GraphBackend::Resident(graph);
+        self.master_cache = None;
         self.heldout = heldout;
         Ok(())
     }
 
     /// Stage 1: the master draws a mini-batch (consumes master RNG).
     pub fn draw_minibatch(&mut self) -> MiniBatch {
+        let reader = self.graph.reader(self.master_cache.as_mut());
         self.minibatch
-            .sample(&self.graph, Some(&self.heldout), &mut self.master_rng)
+            .sample(reader, Some(&self.heldout), &mut self.master_rng)
     }
 
     /// Stage 1, allocation-free variant: draw the next mini-batch into the
     /// engine's reusable [`Engine::mb`]/[`Engine::mb_vertices`] buffers.
     /// Consumes the master RNG exactly like [`Engine::draw_minibatch`].
     pub fn refresh_minibatch(&mut self) {
+        let reader = self.graph.reader(self.master_cache.as_mut());
         self.minibatch.sample_into(
-            &self.graph,
+            reader,
             Some(&self.heldout),
             &mut self.master_rng,
             &mut self.mb,
         );
         self.mb.vertices_into(&mut self.mb_vertices);
+    }
+
+    /// The neighbor list of `v`, read through the master's cache — the
+    /// threaded master scatters adjacency to workers with this.
+    pub fn neighbors_master(&mut self, v: VertexId) -> &[u32] {
+        self.graph.reader(self.master_cache.as_mut()).into_neighbors(v)
     }
 
     /// The step size for the current iteration.
@@ -185,9 +222,12 @@ impl Engine {
         ws.rows.resize(nn * k, 0.0);
         ws.linked.clear();
         ws.linked.resize(nn, false);
+        // The reader borrows only `ws.graph_cache`; the loop writes the
+        // disjoint `ws.rows` / `ws.linked` fields.
+        let mut reader = self.graph.reader(ws.graph_cache.as_mut());
         for (i, &b) in ws.neighbors.iter().enumerate() {
             ws.rows[i * k..(i + 1) * k].copy_from_slice(self.state.pi_row(b.0));
-            ws.linked[i] = self.graph.has_edge(a, b);
+            ws.linked[i] = reader.has_edge(a, b);
         }
 
         self.state.phi_row(a.0, &mut ws.phi_a);
@@ -546,19 +586,20 @@ pub(crate) fn phi_update_from_dkv_rows(
     (a, out)
 }
 
-/// Worst-case pair count of one mini-batch under `strategy` on `graph`:
-/// the stratified batch is bounded by `anchors` strata, each at most
+/// Worst-case pair count of one mini-batch under `strategy` on a graph
+/// with `num_vertices` vertices and maximum degree `max_degree`: the
+/// stratified batch is bounded by `anchors` strata, each at most
 /// `max(max_degree, ceil(N / partitions))` pairs; a random-pair batch by
 /// its configured size. Used to pre-reserve every per-iteration buffer.
-pub(crate) fn max_batch_pairs(graph: &Graph, strategy: Strategy) -> usize {
+pub(crate) fn max_batch_pairs(num_vertices: u32, max_degree: u32, strategy: Strategy) -> usize {
     match strategy {
         Strategy::RandomPair { size } => size,
         Strategy::StratifiedNode {
             partitions,
             anchors,
         } => {
-            let n = graph.num_vertices() as usize;
-            let stratum = (graph.max_degree() as usize).max(n.div_ceil(partitions));
+            let n = num_vertices as usize;
+            let stratum = (max_degree as usize).max(n.div_ceil(partitions));
             anchors * stratum
         }
     }

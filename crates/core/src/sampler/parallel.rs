@@ -17,6 +17,7 @@ use crate::workspace::Workspace;
 use crate::{CoreError, ModelState};
 use mmsb_graph::heldout::HeldOut;
 use mmsb_graph::Graph;
+use mmsb_ooc::GraphBackend;
 use mmsb_pool::ThreadPool;
 
 /// Multi-threaded SG-MCMC sampler.
@@ -46,15 +47,36 @@ impl ParallelSampler {
         config: SamplerConfig,
         threads: usize,
     ) -> Result<Self, CoreError> {
+        Self::with_backend_threads(graph.into(), heldout, config, threads)
+    }
+
+    /// Build a sampler over either graph backend (resident CSR or the
+    /// out-of-core block-cached format) with an explicit pool size. Each
+    /// worker owns its own block cache; cache state is pure scratch, so
+    /// the chain is bitwise identical across backends, cache sizes, and
+    /// thread counts.
+    pub fn with_backend_threads(
+        graph: GraphBackend,
+        heldout: HeldOut,
+        config: SamplerConfig,
+        threads: usize,
+    ) -> Result<Self, CoreError> {
         if threads == 0 {
             return Err(CoreError::InvalidConfig {
                 reason: "thread count must be at least 1".into(),
             });
         }
-        let engine = Engine::new(graph, heldout, config)?;
+        let engine = Engine::with_backend(graph, heldout, config)?;
         let bufs = StepBuffers::new(&engine);
         let workspaces = (0..threads)
-            .map(|_| Workspace::new(engine.config.k, engine.config.neighbor_sample))
+            .map(|w| {
+                let cache = engine.graph.new_cache(
+                    engine.config.graph_cache_blocks,
+                    engine.config.seed ^ (w as u64 + 1),
+                );
+                Workspace::new(engine.config.k, engine.config.neighbor_sample)
+                    .with_graph_cache(cache)
+            })
             .collect();
         Ok(Self {
             engine,

@@ -8,6 +8,7 @@ use crate::workspace::Workspace;
 use crate::{CoreError, ModelState};
 use mmsb_graph::heldout::HeldOut;
 use mmsb_graph::Graph;
+use mmsb_ooc::GraphBackend;
 use mmsb_pool::ThreadPool;
 
 /// Single-threaded SG-MCMC sampler — the reference every other driver is
@@ -27,12 +28,26 @@ pub struct SequentialSampler {
 impl SequentialSampler {
     /// Build a sampler over a training graph and held-out set.
     pub fn new(graph: Graph, heldout: HeldOut, config: SamplerConfig) -> Result<Self, CoreError> {
-        let engine = Engine::new(graph, heldout, config)?;
+        Self::with_backend(graph.into(), heldout, config)
+    }
+
+    /// Build a sampler over either graph backend (resident CSR or the
+    /// out-of-core block-cached format). The chain is bitwise identical
+    /// across backends.
+    pub fn with_backend(
+        graph: GraphBackend,
+        heldout: HeldOut,
+        config: SamplerConfig,
+    ) -> Result<Self, CoreError> {
+        let engine = Engine::with_backend(graph, heldout, config)?;
         let bufs = StepBuffers::new(&engine);
-        let workspaces = vec![Workspace::new(
-            engine.config.k,
-            engine.config.neighbor_sample,
-        )];
+        let cache = engine
+            .graph
+            .new_cache(engine.config.graph_cache_blocks, engine.config.seed ^ 1);
+        let workspaces = vec![
+            Workspace::new(engine.config.k, engine.config.neighbor_sample)
+                .with_graph_cache(cache),
+        ];
         Ok(Self {
             engine,
             pool: ThreadPool::new(1),
@@ -105,8 +120,8 @@ impl SequentialSampler {
         crate::Checkpoint::capture(&self.engine)
     }
 
-    /// The training graph.
-    pub fn graph(&self) -> &Graph {
+    /// The training graph backend.
+    pub fn graph(&self) -> &GraphBackend {
         &self.engine.graph
     }
 

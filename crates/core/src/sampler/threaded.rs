@@ -136,7 +136,7 @@ pub fn train_threaded(
             let ids: Vec<u32> = v_shares[w].iter().map(|v| v.0).collect();
             msg.put_u32_slice(&ids);
             for &v in v_shares[w] {
-                msg.put_u32_slice(engine.graph.neighbors(v));
+                msg.put_u32_slice(engine.neighbors_master(v));
             }
             let pair_words: Vec<u32> = p_shares[w]
                 .iter()

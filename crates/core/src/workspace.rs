@@ -7,6 +7,7 @@
 //! dynamic chunk-to-worker assignment cannot perturb the chain.
 
 use mmsb_graph::{FxHashSet, VertexId};
+use mmsb_ooc::BlockCache;
 use mmsb_simd::{PhiScratch, ThetaScratch};
 
 /// Reusable scratch for one worker thread.
@@ -37,6 +38,10 @@ pub(crate) struct Workspace {
     pub neighbors: Vec<VertexId>,
     /// Dedup set for neighbor rejection sampling.
     pub seen: FxHashSet<u32>,
+    /// This worker's block cache for out-of-core adjacency reads
+    /// (`None` for resident graphs). Pure scratch, like everything else
+    /// here — cache contents never influence results.
+    pub graph_cache: Option<BlockCache>,
 }
 
 impl Workspace {
@@ -60,6 +65,14 @@ impl Workspace {
             theta_scratch: ThetaScratch::new(k),
             neighbors: Vec::with_capacity(neighbor_sample),
             seen,
+            graph_cache: None,
         }
+    }
+
+    /// Attach an out-of-core block cache (builder style; drivers create
+    /// one per workspace via `GraphBackend::new_cache`).
+    pub fn with_graph_cache(mut self, cache: Option<BlockCache>) -> Self {
+        self.graph_cache = cache;
+        self
     }
 }

@@ -1,12 +1,14 @@
 //! Pins the zero-allocation steady-state contract: after warmup, a
 //! [`ParallelSampler`] `step()` must never touch the heap — and neither
 //! may a warmed double-buffered [`PrefetchingReader`] pass (the pipelined
-//! `pi` load path of the distributed samplers). Every per-iteration
-//! buffer is pre-reserved at its hard upper bound (`Engine::new`,
-//! `StepBuffers::new`, `Workspace::new`, `ReaderScratch`), the pool and
-//! the background worker publish tasks as unboxed pointer pairs, and the
-//! mini-batch/neighbor machinery reuses its vectors — so the counter
-//! below must stay at exactly zero.
+//! `pi` load path of the distributed samplers) nor a warmed out-of-core
+//! [`mmsb_ooc::BlockCache`] read loop (the graph path of the ooc
+//! backend). Every per-iteration buffer is pre-reserved at its hard
+//! upper bound (`Engine::new`, `StepBuffers::new`, `Workspace::new`,
+//! `ReaderScratch`, the cache's block storage and decode scratch), the
+//! pool and the background worker publish tasks as unboxed pointer
+//! pairs, and the mini-batch/neighbor machinery reuses its vectors — so
+//! the counter below must stay at exactly zero.
 //!
 //! This file holds a single test on purpose: the counting allocator is
 //! process-global, and a concurrently running test would pollute the
@@ -193,4 +195,54 @@ fn steady_state_step_is_allocation_free() {
         n, 0,
         "warmed write_batch hit the allocator {n} times over 40 writes"
     );
+
+    // ---- out-of-core graph path: warmed BlockCache reads ----
+    // The cache's block storage is sized at construction and the decode
+    // scratch is reserved at `max_degree`, so once every block has been
+    // faulted in, neighbor decodes and membership probes must never
+    // touch the heap — even though instrumentation (cache counters, the
+    // read-latency histogram) stays fully on.
+    let dir = std::env::temp_dir().join(format!("mmsb-zero-alloc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("graph.ooc");
+    mmsb_ooc::write_graph(
+        &graph,
+        &path,
+        mmsb_ooc::BuildOptions {
+            block_size: 4096,
+            ..mmsb_ooc::BuildOptions::default()
+        },
+    )
+    .unwrap();
+    let ooc = mmsb_ooc::OocGraph::open(&path).unwrap();
+    // Oversize the cache so the working set is eviction-free once warm.
+    let mut cache = mmsb_ooc::BlockCache::for_graph(&ooc, 4 * ooc.header().num_blocks as usize, 5);
+    let mut edges_seen = 0u64;
+    {
+        let mut reader = mmsb_ooc::OocReader::new(&ooc, &mut cache);
+        for v in 0..ooc.num_vertices() {
+            edges_seen += reader.try_neighbors(mmsb_graph::VertexId(v)).unwrap().len() as u64;
+        }
+        assert!(edges_seen > 0);
+
+        COUNTING.store(true, Ordering::SeqCst);
+        for _ in 0..10 {
+            for v in 0..ooc.num_vertices() {
+                edges_seen +=
+                    reader.try_neighbors(mmsb_graph::VertexId(v)).unwrap().len() as u64;
+                let probe = mmsb_graph::VertexId((v + 1) % ooc.num_vertices());
+                edges_seen +=
+                    u64::from(reader.try_has_edge(mmsb_graph::VertexId(v), probe).unwrap());
+            }
+        }
+        COUNTING.store(false, Ordering::SeqCst);
+    }
+    assert!(edges_seen > 0);
+
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        n, 0,
+        "warmed out-of-core read loop hit the allocator {n} times over 10 passes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

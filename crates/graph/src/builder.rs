@@ -38,6 +38,13 @@ impl GraphBuilder {
         self.num_vertices
     }
 
+    /// Raise the vertex count to `num_vertices` (no-op if already at
+    /// least that). Streaming loaders discover the vertex universe as
+    /// they intern ids, so they grow the builder as edges arrive.
+    pub fn grow_to(&mut self, num_vertices: u32) {
+        self.num_vertices = self.num_vertices.max(num_vertices);
+    }
+
     /// Number of distinct edges added so far.
     pub fn num_edges(&self) -> usize {
         self.edges.len()

@@ -11,6 +11,7 @@ pub mod chunglu;
 pub mod datasets;
 pub mod lfr;
 pub mod planted;
+pub mod stream;
 
 use crate::VertexId;
 

@@ -6,7 +6,7 @@
 //! prediction and non-link prediction. `E_h` is statically partitioned
 //! across machines for the parallel perplexity phase.
 
-use crate::{Edge, FxHashSet, Graph, GraphBuilder, VertexId};
+use crate::{access::GraphAccess, Edge, FxHashSet, Graph, GraphBuilder, VertexId};
 use mmsb_rand::{Rng, RngCore};
 
 /// A held-out evaluation set: pairs with their true link observation.
@@ -75,6 +75,82 @@ impl HeldOut {
             }
         }
         (builder.build(), HeldOut { pairs, index })
+    }
+
+    /// Build a held-out set through any [`GraphAccess`] backend *without*
+    /// rebuilding the training graph — the out-of-core path, where the
+    /// adjacency is immutable on disk and `O(E)` edge collection is off
+    /// the table.
+    ///
+    /// Links are drawn uniformly from `E` by degree-corrected rejection:
+    /// pick a vertex uniformly, accept it with probability
+    /// `degree / max_degree`, then pick one of its neighbors uniformly —
+    /// every directed edge lands with probability `1 / (N * max_degree)`,
+    /// so undirected links are uniform. Non-links are uniform pairs
+    /// filtered through `has_edge`, exactly as [`HeldOut::split`] draws
+    /// them.
+    ///
+    /// Unlike [`HeldOut::split`], the held-out links stay in the training
+    /// graph; the mini-batch and neighbor samplers exclude held-out
+    /// *pairs* explicitly, so the evaluation pairs still never contribute
+    /// a gradient. Perplexity numbers are therefore comparable across
+    /// backends only when both used the same construction.
+    ///
+    /// # Panics
+    /// Panics if the graph has no edges (or too few to supply
+    /// `num_links` distinct ones), or is too dense for the non-links.
+    pub fn sample_observed<G: GraphAccess, R: RngCore>(
+        mut graph: G,
+        num_links: usize,
+        rng: &mut R,
+    ) -> HeldOut {
+        assert!(
+            (num_links as u64) <= graph.num_edges(),
+            "cannot hold out {num_links} links from a graph with {} edges",
+            graph.num_edges()
+        );
+        assert!(
+            (num_links as u64) <= graph.num_pairs() - graph.num_edges(),
+            "graph too dense to sample {num_links} held-out non-links"
+        );
+        let n = graph.num_vertices();
+        assert!(n >= 2, "need at least two vertices");
+        let max_degree = graph.max_degree() as u64;
+
+        let mut index = FxHashSet::default();
+        let mut pairs = Vec::with_capacity(num_links * 2);
+        let mut links = 0usize;
+        while links < num_links {
+            let a = VertexId(rng.below(n as u64) as u32);
+            let d = graph.degree(a) as u64;
+            if d == 0 || rng.below(max_degree) >= d {
+                continue;
+            }
+            let slot = rng.below(d) as usize;
+            let b = VertexId(graph.neighbors(a)[slot]);
+            let e = Edge::new(a, b);
+            if !index.insert(e.pack()) {
+                continue;
+            }
+            pairs.push((e, true));
+            links += 1;
+        }
+
+        let mut non_links = 0usize;
+        while non_links < num_links {
+            let a = VertexId(rng.below(n as u64) as u32);
+            let b = VertexId(rng.below(n as u64) as u32);
+            if a == b {
+                continue;
+            }
+            let e = Edge::new(a, b);
+            if graph.has_edge(a, b) || !index.insert(e.pack()) {
+                continue;
+            }
+            pairs.push((e, false));
+            non_links += 1;
+        }
+        HeldOut { pairs, index }
     }
 
     /// All held-out pairs with their observations.
@@ -190,6 +266,35 @@ mod tests {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
         let want = g.num_edges() as usize + 1;
         HeldOut::split(&g, want, &mut rng);
+    }
+
+    #[test]
+    fn sample_observed_labels_are_truthful_and_balanced() {
+        let g = test_graph();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let h = HeldOut::sample_observed(&g, 40, &mut rng);
+        assert_eq!(h.len(), 80);
+        let links = h.pairs().iter().filter(|&&(_, y)| y).count();
+        assert_eq!(links, 40);
+        for &(e, y) in h.pairs() {
+            assert_eq!(y, g.has_edge(e.lo(), e.hi()));
+            assert!(h.contains(e));
+        }
+        // Pairs are distinct.
+        let set: std::collections::HashSet<u64> =
+            h.pairs().iter().map(|&(e, _)| e.pack()).collect();
+        assert_eq!(set.len(), h.len());
+    }
+
+    #[test]
+    fn sample_observed_deterministic_given_seed() {
+        let g = test_graph();
+        let mut r1 = Xoshiro256PlusPlus::seed_from_u64(10);
+        let mut r2 = Xoshiro256PlusPlus::seed_from_u64(10);
+        assert_eq!(
+            HeldOut::sample_observed(&g, 25, &mut r1).pairs(),
+            HeldOut::sample_observed(&g, 25, &mut r2).pairs()
+        );
     }
 
     #[test]

@@ -26,71 +26,110 @@ impl LoadedGraph {
     }
 }
 
-/// Parse a SNAP-format edge list from any reader.
+/// A streaming SNAP edge-list parser: one `(src, dst)` pair per call,
+/// reading line by line with a single reused line buffer (no eager
+/// buffering of the input, the lines, or the parsed edges — consumers
+/// like the out-of-core converter stream arbitrarily large files in
+/// constant memory).
 ///
 /// * Lines starting with `#` (after optional leading whitespace) and blank
 ///   lines are skipped.
-/// * Each data line must contain exactly two integer tokens.
-/// * Self-loops are *skipped* (SNAP social graphs contain a few; the a-MMSB
-///   model cannot represent them), duplicates are deduplicated.
+/// * Each data line must contain exactly two integer tokens; malformed
+///   rows surface as [`GraphError::Parse`] with the 1-based line number.
+/// * Self-loops are *skipped* here (SNAP social graphs contain a few; the
+///   a-MMSB model cannot represent them); deduplication is the consumer's
+///   job.
+#[derive(Debug)]
+pub struct EdgeListLines<R> {
+    reader: BufReader<R>,
+    line: String,
+    line_no: usize,
+    self_loops: u64,
+}
+
+impl<R: Read> EdgeListLines<R> {
+    /// Start streaming from `reader`.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader: BufReader::new(reader),
+            line: String::new(),
+            line_no: 0,
+            self_loops: 0,
+        }
+    }
+
+    /// The 1-based line number of the most recently parsed line.
+    pub fn line_number(&self) -> usize {
+        self.line_no
+    }
+
+    /// Self-loop rows skipped so far.
+    pub fn self_loops_skipped(&self) -> u64 {
+        self.self_loops
+    }
+
+    /// Parse the next edge; `Ok(None)` at end of input.
+    #[allow(clippy::should_implement_trait)] // lending-style: reuses the line buffer
+    pub fn next_edge(&mut self) -> Result<Option<(u64, u64)>, GraphError> {
+        loop {
+            self.line.clear();
+            if self.reader.read_line(&mut self.line)? == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let line_no = self.line_no;
+            let mut tokens = trimmed.split_whitespace();
+            let parse = |tok: Option<&str>| -> Result<u64, GraphError> {
+                let tok = tok.ok_or_else(|| GraphError::Parse {
+                    line: line_no,
+                    message: "expected two vertex ids".into(),
+                })?;
+                tok.parse::<u64>().map_err(|e| GraphError::Parse {
+                    line: line_no,
+                    message: format!("bad vertex id {tok:?}: {e}"),
+                })
+            };
+            let a = parse(tokens.next())?;
+            let b = parse(tokens.next())?;
+            if tokens.next().is_some() {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: "trailing tokens after edge".into(),
+                });
+            }
+            if a == b {
+                self.self_loops += 1;
+                continue; // drop self-loops
+            }
+            return Ok(Some((a, b)));
+        }
+    }
+}
+
+/// Parse a SNAP-format edge list from any reader (see [`EdgeListLines`]
+/// for the accepted syntax). Edges stream directly into the deduplicating
+/// [`GraphBuilder`] — nothing is buffered besides the id-interning table.
 pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, GraphError> {
     let mut ids: FxHashMap<u64, u32> = FxHashMap::default();
     let mut original_ids: Vec<u64> = Vec::new();
-    let mut raw_edges: Vec<(u32, u32)> = Vec::new();
-
-    let mut intern = |raw: u64, original_ids: &mut Vec<u64>| -> u32 {
-        *ids.entry(raw).or_insert_with(|| {
-            let dense = original_ids.len() as u32;
-            original_ids.push(raw);
-            dense
-        })
-    };
-
-    let buf = BufReader::new(reader);
-    let mut line_no = 0usize;
-    let mut line = String::new();
-    let mut buf = buf;
-    loop {
-        line.clear();
-        let n = buf.read_line(&mut line)?;
-        if n == 0 {
-            break;
-        }
-        line_no += 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let mut tokens = trimmed.split_whitespace();
-        let parse = |tok: Option<&str>, line_no: usize| -> Result<u64, GraphError> {
-            let tok = tok.ok_or_else(|| GraphError::Parse {
-                line: line_no,
-                message: "expected two vertex ids".into(),
-            })?;
-            tok.parse::<u64>().map_err(|e| GraphError::Parse {
-                line: line_no,
-                message: format!("bad vertex id {tok:?}: {e}"),
+    let mut edges = EdgeListLines::new(reader);
+    let mut builder = GraphBuilder::new(0);
+    while let Some((a, b)) = edges.next_edge()? {
+        let mut intern = |raw: u64| -> u32 {
+            *ids.entry(raw).or_insert_with(|| {
+                let dense = original_ids.len() as u32;
+                original_ids.push(raw);
+                dense
             })
         };
-        let a = parse(tokens.next(), line_no)?;
-        let b = parse(tokens.next(), line_no)?;
-        if tokens.next().is_some() {
-            return Err(GraphError::Parse {
-                line: line_no,
-                message: "trailing tokens after edge".into(),
-            });
-        }
-        if a == b {
-            continue; // drop self-loops
-        }
-        let da = intern(a, &mut original_ids);
-        let db = intern(b, &mut original_ids);
-        raw_edges.push((da, db));
-    }
-
-    let mut builder = GraphBuilder::with_edge_capacity(original_ids.len() as u32, raw_edges.len());
-    for (a, b) in raw_edges {
-        builder.add_edge(VertexId(a), VertexId(b))?;
+        let da = intern(a);
+        let db = intern(b);
+        builder.grow_to(original_ids.len() as u32);
+        builder.add_edge(VertexId(da), VertexId(db))?;
     }
     Ok(LoadedGraph {
         graph: builder.build(),

@@ -34,6 +34,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod access;
 pub mod generate;
 pub mod heldout;
 pub mod io;
@@ -46,6 +47,7 @@ mod graph;
 mod hasher;
 mod types;
 
+pub use access::GraphAccess;
 pub use builder::GraphBuilder;
 pub use graph::Graph;
 pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

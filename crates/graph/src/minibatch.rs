@@ -16,7 +16,7 @@
 //!   This strategy has much lower gradient variance on sparse graphs
 //!   because links — the informative observations — are sampled often.
 
-use crate::{heldout::HeldOut, Edge, Graph, VertexId};
+use crate::{access::GraphAccess, heldout::HeldOut, Edge, VertexId};
 use mmsb_rand::{Rng, RngCore};
 
 /// Mini-batch sampling strategy.
@@ -148,11 +148,13 @@ impl MinibatchSampler {
         self.strategy
     }
 
-    /// Draw one mini-batch from the *training* graph. Held-out pairs are
-    /// excluded when `heldout` is provided.
-    pub fn sample<R: RngCore>(
+    /// Draw one mini-batch from the *training* graph (any [`GraphAccess`]
+    /// backend — resident calls pass `&Graph`, out-of-core ones a block-
+    /// cached reader). Held-out pairs are excluded when `heldout` is
+    /// provided.
+    pub fn sample<G: GraphAccess, R: RngCore>(
         &self,
-        graph: &Graph,
+        graph: G,
         heldout: Option<&HeldOut>,
         rng: &mut R,
     ) -> MiniBatch {
@@ -171,9 +173,9 @@ impl MinibatchSampler {
     /// this performs no heap allocation once `out`'s capacities cover the
     /// largest stratum (the random-pair strategy keeps a per-call
     /// dedup set).
-    pub fn sample_into<R: RngCore>(
+    pub fn sample_into<G: GraphAccess, R: RngCore>(
         &self,
-        graph: &Graph,
+        graph: G,
         heldout: Option<&HeldOut>,
         rng: &mut R,
         out: &mut MiniBatch,
@@ -190,9 +192,9 @@ impl MinibatchSampler {
         }
     }
 
-    fn sample_random_pairs_into<R: RngCore>(
+    fn sample_random_pairs_into<G: GraphAccess, R: RngCore>(
         &self,
-        graph: &Graph,
+        mut graph: G,
         heldout: Option<&HeldOut>,
         size: usize,
         rng: &mut R,
@@ -222,9 +224,9 @@ impl MinibatchSampler {
         out.kind = BatchKind::RandomPairs;
     }
 
-    fn sample_stratified_into<R: RngCore>(
+    fn sample_stratified_into<G: GraphAccess, R: RngCore>(
         &self,
-        graph: &Graph,
+        mut graph: G,
         heldout: Option<&HeldOut>,
         m: usize,
         anchors: usize,
@@ -301,6 +303,7 @@ impl MinibatchSampler {
 mod tests {
     use super::*;
     use crate::generate::planted::{generate_planted, PlantedConfig};
+    use crate::Graph;
     use mmsb_rand::Xoshiro256PlusPlus;
 
     fn graph() -> Graph {

@@ -4,7 +4,9 @@
 //! mmsb datasets                                   # list the Table II stand-ins
 //! mmsb generate --dataset syn-dblp --out g.txt    # write a SNAP edge list
 //! mmsb generate --vertices 2000 --communities 16 --out g.txt
+//! mmsb convert --input g.txt --out g.ooc          # compressed on-disk graph
 //! mmsb train --input g.txt --k 16 --iters 2000 --out communities.txt
+//! mmsb train --input g.ooc --graph-format ooc --k 16 --iters 2000
 //! mmsb train --dataset syn-youtube --driver parallel --eval-every 200
 //! mmsb train --input g.txt --k 16 --checkpoint model.ckpt --checkpoint-every 500
 //! mmsb simulate --workers 16 --k 64 --iters 50 --pipeline off
@@ -59,7 +61,7 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage: mmsb <datasets|generate|train|simulate|serve> [--flags]\n\
+    "usage: mmsb <datasets|generate|convert|train|simulate|serve> [--flags]\n\
      observability (train/simulate): --obs-level off|metrics|spans \
      --metrics-out FILE --trace-out FILE\n\
      run `mmsb <command> --help` for the command's flags"
@@ -144,6 +146,7 @@ fn main() -> ExitCode {
     let result = match args.command.as_str() {
         "datasets" => cmd_datasets(),
         "generate" => cmd_generate(&args),
+        "convert" => cmd_convert(&args),
         "train" => cmd_train(&args),
         "simulate" => cmd_simulate(&args),
         "serve" => cmd_serve(&args),
@@ -229,16 +232,73 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_convert(args: &Args) -> Result<(), String> {
+    if args.get("help").is_some() {
+        println!(
+            "mmsb convert --input FILE --out FILE [--block-size BYTES] [--map FILE]\n\
+             converts a SNAP-format edge list into the compressed on-disk \
+             graph (`--graph-format ooc` for `mmsb train`), streaming: \
+             bounded memory regardless of edge count. Vertex ids are \
+             densified to [0, N) in first-seen order; --map writes the \
+             `dense original` id pairs. --block-size must be a power of \
+             two >= 4096 (default 65536)"
+        );
+        return Ok(());
+    }
+    let input = args
+        .get("input")
+        .ok_or("convert needs --input FILE (a SNAP edge list)")?;
+    let out = args.get("out").ok_or("convert needs --out FILE")?;
+    let block_size: u32 =
+        args.parsed("block-size", mmsb::ooc::format::DEFAULT_BLOCK_SIZE)?;
+    let opts = mmsb::ooc::BuildOptions {
+        block_size,
+        ..Default::default()
+    };
+    let (stats, mapping) =
+        mmsb::ooc::convert_edge_list(input, out, opts).map_err(|e| e.to_string())?;
+    println!(
+        "{out}: {} vertices, {} edges, {} bytes ({:.3} bytes/edge; raw pairs: 8.0)",
+        stats.num_vertices,
+        stats.num_edges,
+        stats.file_bytes,
+        stats.bytes_per_edge()
+    );
+    if stats.self_loops_dropped + stats.duplicates_dropped > 0 {
+        println!(
+            "dropped {} self-loops, {} duplicate edges",
+            stats.self_loops_dropped, stats.duplicates_dropped
+        );
+    }
+    if let Some(map_path) = args.get("map") {
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(map_path).map_err(|e| e.to_string())?,
+        );
+        writeln!(f, "# dense_id original_id").map_err(|e| e.to_string())?;
+        for (dense, original) in mapping.iter().enumerate() {
+            writeln!(f, "{dense} {original}").map_err(|e| e.to_string())?;
+        }
+        println!("id mapping ({} vertices) written to {map_path}", mapping.len());
+    }
+    Ok(())
+}
+
 fn cmd_train(args: &Args) -> Result<(), String> {
     if args.get("help").is_some() {
         println!(
             "mmsb train [--input FILE | --dataset NAME | generator flags] \
+             [--graph-format edges|ooc] [--cache-blocks N] \
              [--k K] [--iters N] [--driver sequential|parallel|threaded] \
              [--workers R] [--pipeline on|off] [--eval-every N] \
              [--heldout L] [--seed S] [--threshold T] [--out FILE] \
              [--checkpoint FILE] [--checkpoint-every N] \
              [--simd auto|scalar|sse2|avx2|neon] \
              [--obs-level off|metrics|spans] [--metrics-out FILE] [--trace-out FILE]\n\
+             --graph-format ooc trains out-of-core: --input names a file \
+             from `mmsb convert`, adjacency stays on disk behind a \
+             --cache-blocks block cache per worker (sequential/parallel \
+             drivers; held-out pairs are sampled by access, links stay \
+             in the training graph)\n\
              --checkpoint writes the final model as a servable checkpoint \
              (`mmsb serve --model FILE`); --checkpoint-every also saves \
              every N iterations (sequential/parallel drivers; the \
@@ -247,19 +307,51 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         return Ok(());
     }
     let obs_out = obs_setup(args)?;
-    let (graph, truth) = if let Some(path) = args.get("input") {
-        let loaded = io::load_edge_list(path).map_err(|e| e.to_string())?;
-        (loaded.graph, None)
-    } else {
-        let generated = generated_from_args(args)?;
-        (generated.graph, Some(generated.ground_truth))
+    let seed: u64 = args.parsed("seed", 42)?;
+    let cache_blocks: usize = args.parsed("cache-blocks", mmsb::ooc::DEFAULT_CACHE_BLOCKS)?;
+    let (backend, heldout, truth) = match args.get("graph-format").unwrap_or("edges") {
+        "edges" => {
+            let (graph, truth) = if let Some(path) = args.get("input") {
+                let loaded = io::load_edge_list(path).map_err(|e| e.to_string())?;
+                (loaded.graph, None)
+            } else {
+                let generated = generated_from_args(args)?;
+                (generated.graph, Some(generated.ground_truth))
+            };
+            let heldout_links: usize =
+                args.parsed("heldout", ((graph.num_edges() / 50).max(16)) as usize)?;
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed ^ 0x5EED);
+            let (train, heldout) = HeldOut::split(&graph, heldout_links, &mut rng);
+            (GraphBackend::Resident(train), heldout, truth)
+        }
+        "ooc" => {
+            let path = args
+                .get("input")
+                .ok_or("--graph-format ooc needs --input FILE (from `mmsb convert`)")?;
+            let graph = OocGraph::open(path).map_err(|e| format!("{path}: {e}"))?;
+            // Block CRCs are normally checked lazily on cache load;
+            // front-load the scan so a corrupt file is a clean startup
+            // error, not a panic deep in the first mini-batch.
+            graph.verify_blocks().map_err(|e| format!("{path}: {e}"))?;
+            let heldout_links: usize =
+                args.parsed("heldout", ((graph.num_edges() / 50).max(16)) as usize)?;
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed ^ 0x5EED);
+            // Out-of-core held-out pairs are sampled by access (links
+            // stay in the training adjacency) — removing edges would
+            // mean rewriting the on-disk file.
+            let mut cache = BlockCache::for_graph(&graph, cache_blocks, seed ^ 0x0C);
+            let heldout = HeldOut::sample_observed(
+                mmsb::ooc::OocReader::new(&graph, &mut cache),
+                heldout_links,
+                &mut rng,
+            );
+            (GraphBackend::OutOfCore(graph), heldout, None)
+        }
+        other => return Err(format!("--graph-format expects edges/ooc, got {other:?}")),
     };
     let k: usize = args.parsed("k", 16)?;
     let iters: u64 = args.parsed("iters", 2000)?;
     let eval_every: u64 = args.parsed("eval-every", 250)?;
-    let seed: u64 = args.parsed("seed", 42)?;
-    let heldout_links: usize =
-        args.parsed("heldout", ((graph.num_edges() / 50).max(16)) as usize)?;
     let threshold: f32 = args.parsed("threshold", (0.5 / k as f64) as f32)?;
     let driver = args.get("driver").unwrap_or("parallel");
     let workers: usize = args.parsed("workers", 4)?;
@@ -283,15 +375,20 @@ fn cmd_train(args: &Args) -> Result<(), String> {
 
     let simd = simd_from_args(args)?;
 
-    let num_vertices = graph.num_vertices();
-    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed ^ 0x5EED);
-    let (train, heldout) = HeldOut::split(&graph, heldout_links, &mut rng);
-    let config = SamplerConfig::new(k).with_seed(seed).with_simd(simd);
+    let num_vertices = backend.num_vertices();
+    let config = SamplerConfig::new(k)
+        .with_seed(seed)
+        .with_simd(simd)
+        .with_graph_cache_blocks(cache_blocks);
     println!(
-        "training on {} vertices / {} edges, K = {k}, {iters} iterations, \
+        "training on {} vertices / {} edges ({}), K = {k}, {iters} iterations, \
          driver = {driver}, simd = {}",
-        train.num_vertices(),
-        train.num_edges(),
+        backend.num_vertices(),
+        backend.num_edges(),
+        match &backend {
+            GraphBackend::Resident(_) => "resident",
+            GraphBackend::OutOfCore(_) => "out-of-core",
+        },
         config.backend()
     );
 
@@ -305,11 +402,16 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             }
             let mut s = if driver == "sequential" {
                 Either::Seq(Box::new(
-                    SequentialSampler::new(train, heldout, config).map_err(|e| e.to_string())?,
+                    SequentialSampler::with_backend(backend, heldout, config)
+                        .map_err(|e| e.to_string())?,
                 ))
             } else {
+                let threads = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
                 Either::Par(Box::new(
-                    ParallelSampler::new(train, heldout, config).map_err(|e| e.to_string())?,
+                    ParallelSampler::with_backend_threads(backend, heldout, config, threads)
+                        .map_err(|e| e.to_string())?,
                 ))
             };
             // Step to whichever boundary comes first — evaluation or
@@ -360,6 +462,13 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             }
         }
         "threaded" => {
+            let GraphBackend::Resident(train) = backend else {
+                return Err(
+                    "--driver threaded requires a resident graph (--graph-format edges); \
+                     use sequential or parallel for out-of-core training"
+                        .to_string(),
+                );
+            };
             let outcome =
                 train_threaded(train, heldout, config, workers, iters, eval_every, pipeline)
                     .map_err(|e| e.to_string())?;

@@ -26,6 +26,7 @@ pub use mmsb_dkv as dkv;
 pub use mmsb_graph as graph;
 pub use mmsb_netsim as netsim;
 pub use mmsb_obs as obs;
+pub use mmsb_ooc as ooc;
 pub use mmsb_pool as pool;
 pub use mmsb_rand as rand;
 pub use mmsb_serve as serve;
@@ -49,6 +50,7 @@ pub mod prelude {
     pub use mmsb_graph::{Graph, GraphBuilder, VertexId};
     pub use mmsb_netsim::{FaultConfig, FaultPlan, NetworkModel, Phase, RecoveryPolicy, TraceReport};
     pub use mmsb_obs::{ObsConfig, ObsLevel};
+    pub use mmsb_ooc::{BlockCache, GraphBackend, OocGraph};
     pub use mmsb_rand::{Rng, RngCore, Xoshiro256PlusPlus};
     pub use mmsb_serve::{ModelSnapshot, ServeConfig, ServeHandle, SnapshotCell};
     pub use mmsb_svi::SviSampler;

@@ -74,8 +74,14 @@ pub mod id {
     /// serve: reload attempts that failed (corrupt/unreadable
     /// checkpoint); the old generation keeps serving.
     pub const C_SERVE_RELOAD_ERRORS: usize = 26;
+    /// ooc: graph block-cache lookups served from a resident block.
+    pub const C_GRAPH_CACHE_HITS: usize = 27;
+    /// ooc: graph block-cache lookups that had to read from disk.
+    pub const C_GRAPH_CACHE_MISSES: usize = 28;
+    /// ooc: block-cache loads that displaced a resident block.
+    pub const C_GRAPH_CACHE_EVICTIONS: usize = 29;
     /// Number of counters.
-    pub const COUNTER_COUNT: usize = 27;
+    pub const COUNTER_COUNT: usize = 30;
 
     /// Counter names, indexed by counter id (export order).
     pub const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
@@ -106,6 +112,9 @@ pub mod id {
         "serve_drain_completed",
         "serve_drain_aborted",
         "serve_reload_errors",
+        "graph_cache_hits",
+        "graph_cache_misses",
+        "graph_cache_evictions",
     ];
 
     // --- gauges -----------------------------------------------------
@@ -150,8 +159,11 @@ pub mod id {
     pub const H_SERVE_COMMUNITY_NS: usize = H_SERVE_EDGE_NS + 1;
     /// serve: every other endpoint's handling latency (ns).
     pub const H_SERVE_OTHER_NS: usize = H_SERVE_COMMUNITY_NS + 1;
+    /// ooc: block read latency on a cache miss (positioned read +
+    /// CRC verification), ns.
+    pub const H_GRAPH_READ_NS: usize = H_SERVE_OTHER_NS + 1;
     /// Number of histograms.
-    pub const HIST_COUNT: usize = H_SERVE_OTHER_NS + 1;
+    pub const HIST_COUNT: usize = H_GRAPH_READ_NS + 1;
 
     /// Histogram names, indexed by histogram id. The phase entries use
     /// the same strings as `Phase::name()` prefixed with `phase_`.
@@ -177,6 +189,7 @@ pub mod id {
         "serve_edge_ns",
         "serve_community_ns",
         "serve_other_ns",
+        "graph_read_ns",
     ];
 
     // --- spans (ids shared with `crate::spans`) ----------------------

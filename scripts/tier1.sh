@@ -5,8 +5,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Workspace invariant lint, first and fail-fast: the item-level static
-# analyzer (DESIGN.md §14 — SAFETY comments, unsafe/sync/time/arch/net
-# confinement, hot-path panic/alloc freedom, lock ordering, hash-iter
+# analyzer (DESIGN.md §14 — SAFETY comments, unsafe/sync/time/arch/
+# net/fs confinement, hot-path panic/alloc freedom, lock ordering,
+# hash-iter
 # determinism, suppression hygiene). The JSON document is round-tripped
 # through the schema validator in the same pipe, so under pipefail a
 # lint violation *or* a schema drift/truncation fails here, before the
@@ -92,3 +93,18 @@ cargo test -q --offline -p mmsb-serve --test chaos
 cargo test -q --offline -p mmsb-serve --test drain_shed
 cargo test -q --offline -p mmsb-serve --test reload_corrupt
 cargo test -q --offline -p mmsb-serve --test http_prop
+
+# Out-of-core graph engine contracts (DESIGN.md §15): the codec + file
+# format property suites (300 adversarial seeds through the varint
+# codec, builder round-trips with forced external-sort spills, the
+# every-flipped-byte corruption sweep proving each byte is either
+# CRC/invariant-detected or provably harmless), cross-backend bitwise
+# determinism (resident vs out-of-core chains identical across
+# eviction-heavy cache sizes, thread counts, and block sizes), the
+# zero-allocation warmed cache read loop (inside zero_alloc above,
+# named here for locality), and the quick bench gate (streamed build →
+# bytes/edge <= 4.8 → cold/warm reads → end-to-end ooc training; the
+# committed BENCH_graph.json carries the full-run 100M-edge figures).
+cargo test -q --offline -p mmsb-ooc
+cargo test -q --offline -p mmsb-core --test backend_determinism
+(cd "$(mktemp -d)" && "$repo/target/release/bench_graph" --quick)
